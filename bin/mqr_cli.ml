@@ -1,0 +1,266 @@
+(* Command-line interface: run SQL (or the named TPC-D benchmark queries)
+   against a freshly generated TPC-D catalog, with dynamic re-optimization
+   on or off.
+
+     mqr_cli run Q5 --sf 0.005 --mode full --verbose
+     mqr_cli run "select count(*) as n from lineitem" --sf 0.002
+     mqr_cli explain Q3
+     mqr_cli queries *)
+
+module Engine = Mqr_core.Engine
+module Dispatcher = Mqr_core.Dispatcher
+module Queries = Mqr_tpcd.Queries
+module Workload = Mqr_tpcd.Workload
+
+open Cmdliner
+
+let sf_arg =
+  let doc = "TPC-D scale factor for the generated catalog." in
+  Arg.(value & opt float 0.002 & info [ "sf" ] ~docv:"SF" ~doc)
+
+let skew_arg =
+  let doc = "Zipf skew parameter z for non-key attributes (0 = uniform)." in
+  Arg.(value & opt float 0.0 & info [ "skew" ] ~docv:"Z" ~doc)
+
+let budget_arg =
+  let doc = "Memory-manager budget in 4 KB pages." in
+  Arg.(value & opt int 128 & info [ "budget" ] ~docv:"PAGES" ~doc)
+
+let mode_arg =
+  let modes =
+    [ ("off", Dispatcher.Off); ("memory", Dispatcher.Memory_only);
+      ("plan", Dispatcher.Plan_only); ("full", Dispatcher.Full) ]
+  in
+  let doc = "Re-optimization mode: off, memory, plan, or full." in
+  Arg.(value & opt (enum modes) Dispatcher.Full & info [ "mode" ] ~doc)
+
+let verbose_arg =
+  let doc = "Print the event log and final plan." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let query_arg =
+  let doc = "SQL text, or the name of a benchmark query (Q1 Q3 Q5 Q6 Q7 Q8 Q10)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+let pristine_arg =
+  let doc = "Keep catalog statistics accurate (skip the stale-statistics \
+             degradations used by the experiments)." in
+  Arg.(value & flag & info [ "pristine" ] ~doc)
+
+(* user-facing errors (bad SQL, missing tables/files) print cleanly
+   instead of dying with a backtrace *)
+let friendly action =
+  try action () with
+  | Mqr_sql.Lexer.Lex_error m -> Fmt.epr "error: %s@." m; exit 1
+  | Mqr_sql.Parser.Parse_error m -> Fmt.epr "error: %s@." m; exit 1
+  | Mqr_sql.Query.Bind_error m -> Fmt.epr "error: %s@." m; exit 1
+  | Engine.Dml_error m -> Fmt.epr "error: %s@." m; exit 1
+  | Mqr_catalog.Persist.Corrupt m -> Fmt.epr "error: corrupt database: %s@." m; exit 1
+  | Invalid_argument m -> Fmt.epr "error: %s@." m; exit 1
+  | Sys_error m -> Fmt.epr "error: %s@." m; exit 1
+
+let resolve_sql q =
+  match Queries.find q with
+  | query -> query.Queries.sql
+  | exception Invalid_argument _ -> q
+
+let make_engine ~sf ~skew ~budget ~pristine =
+  let degradations = if pristine then [] else Workload.paper_degradations in
+  let catalog = Workload.experiment_catalog ~sf ~skew_z:skew ~degradations () in
+  Engine.create ~budget_pages:budget ~pool_pages:(8 * budget) catalog
+
+let run_cmd =
+  let action query sf skew budget mode verbose pristine =
+    friendly @@ fun () ->
+    let engine = make_engine ~sf ~skew ~budget ~pristine in
+    let sql = resolve_sql query in
+    Fmt.pr "running [%s]: %s@.@." (Dispatcher.mode_to_string mode) sql;
+    let report = Engine.run_sql engine ~mode sql in
+    Array.iter
+      (fun t -> Fmt.pr "%a@." Mqr_storage.Tuple.pp t)
+      report.Dispatcher.rows;
+    Fmt.pr "@.%d rows in %.1f simulated ms (%d collectors, %d plan switches)@."
+      (Array.length report.Dispatcher.rows)
+      report.Dispatcher.elapsed_ms report.Dispatcher.collectors
+      report.Dispatcher.switches;
+    if verbose then begin
+      List.iter
+        (fun ev -> Fmt.pr "  %a@." Dispatcher.pp_event ev)
+        report.Dispatcher.events;
+      Fmt.pr "@.initial plan:@.%s@."
+        (Mqr_opt.Plan.to_string report.Dispatcher.initial_plan)
+    end
+  in
+  let info = Cmd.info "run" ~doc:"Execute a query." in
+  Cmd.v info
+    Term.(const action $ query_arg $ sf_arg $ skew_arg $ budget_arg
+          $ mode_arg $ verbose_arg $ pristine_arg)
+
+let explain_cmd =
+  let action query sf skew budget pristine =
+    friendly @@ fun () ->
+    let engine = make_engine ~sf ~skew ~budget ~pristine in
+    Fmt.pr "%s@." (Mqr_opt.Plan.to_string (Engine.explain engine (resolve_sql query)))
+  in
+  let info = Cmd.info "explain" ~doc:"Show the annotated plan without executing." in
+  Cmd.v info
+    Term.(const action $ query_arg $ sf_arg $ skew_arg $ budget_arg
+          $ pristine_arg)
+
+let repl_cmd =
+  let action sf skew budget pristine =
+    let engine = make_engine ~sf ~skew ~budget ~pristine in
+    let mode = ref Dispatcher.Full in
+    Fmt.pr "mqr repl over a generated TPC-D catalog (sf=%g).@." sf;
+    Fmt.pr
+      "Commands: SQL statements, \\explain <sql>, \\analyze <table>, \\mode off|memory|plan|full, \\tables, \\q@.";
+    let rec loop () =
+      Fmt.pr "mqr> %!";
+      match In_channel.input_line stdin with
+      | None -> ()
+      | Some line ->
+        let line = String.trim line in
+        (try
+           if line = "" then ()
+           else if line = "\\q" || line = "\\quit" then raise Exit
+           else if line = "\\tables" then
+             List.iter
+               (fun (tbl : Mqr_catalog.Catalog.table) ->
+                  Fmt.pr "  %-12s %8d rows (catalog believes %d)@."
+                    tbl.Mqr_catalog.Catalog.name
+                    (Mqr_storage.Heap_file.tuple_count
+                       tbl.Mqr_catalog.Catalog.heap)
+                    tbl.Mqr_catalog.Catalog.believed_rows)
+               (List.sort
+                  (fun (a : Mqr_catalog.Catalog.table) b ->
+                     compare a.Mqr_catalog.Catalog.name
+                       b.Mqr_catalog.Catalog.name)
+                  (Mqr_catalog.Catalog.tables (Engine.catalog engine)))
+           else if String.length line > 6 && String.sub line 0 6 = "\\mode " then begin
+             match String.sub line 6 (String.length line - 6) with
+             | "off" -> mode := Dispatcher.Off
+             | "memory" -> mode := Dispatcher.Memory_only
+             | "plan" -> mode := Dispatcher.Plan_only
+             | "full" -> mode := Dispatcher.Full
+             | m -> Fmt.pr "unknown mode %s@." m
+           end
+           else if String.length line > 9 && String.sub line 0 9 = "\\explain " then
+             Fmt.pr "%s@."
+               (Mqr_opt.Plan.to_string
+                  (Engine.explain engine
+                     (resolve_sql (String.sub line 9 (String.length line - 9)))))
+           else if String.length line > 9 && String.sub line 0 9 = "\\analyze " then begin
+             Engine.analyze engine (String.sub line 9 (String.length line - 9));
+             Fmt.pr "analyzed.@."
+           end
+           else begin
+             match Engine.execute engine ~mode:!mode (resolve_sql line) with
+             | Engine.Rows report ->
+               Array.iter
+                 (fun t -> Fmt.pr "%a@." Mqr_storage.Tuple.pp t)
+                 report.Dispatcher.rows;
+               Fmt.pr "(%d rows, %.1f simulated ms, %d switches)@."
+                 (Array.length report.Dispatcher.rows)
+                 report.Dispatcher.elapsed_ms report.Dispatcher.switches
+             | Engine.Modified { table; count } ->
+               Fmt.pr "%d rows affected in %s@." count table
+             | Engine.Created what -> Fmt.pr "created %s@." what
+             | Engine.Analyzed table -> Fmt.pr "analyzed %s@." table
+           end
+         with
+         | Exit -> raise Exit
+         | e -> Fmt.pr "error: %s@." (Printexc.to_string e));
+        loop ()
+    in
+    (try loop () with Exit -> ());
+    Fmt.pr "bye.@."
+  in
+  let info = Cmd.info "repl" ~doc:"Interactive SQL shell over a TPC-D catalog." in
+  Cmd.v info Term.(const action $ sf_arg $ skew_arg $ budget_arg $ pristine_arg)
+
+let dump_cmd =
+  let out_arg =
+    let doc = "Directory to write the database into." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+  in
+  let action out sf skew pristine =
+    friendly @@ fun () ->
+    let degradations = if pristine then [] else Workload.paper_degradations in
+    let catalog = Workload.experiment_catalog ~sf ~skew_z:skew ~degradations () in
+    Mqr_catalog.Persist.save catalog ~dir:out;
+    Fmt.pr "catalog written to %s@." out
+  in
+  let info =
+    Cmd.info "dump" ~doc:"Generate a TPC-D catalog and save it as CSV files."
+  in
+  Cmd.v info Term.(const action $ out_arg $ sf_arg $ skew_arg $ pristine_arg)
+
+let db_arg =
+  let doc = "Load the database from this directory (written by dump)              instead of generating TPC-D data." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+
+let load_repl_cmd =
+  let action dir budget =
+    friendly @@ fun () ->
+    let catalog = Mqr_catalog.Persist.load ~dir in
+    let engine = Engine.create ~budget_pages:budget ~pool_pages:(8 * budget) catalog in
+    let mode = ref Dispatcher.Full in
+    Fmt.pr "mqr repl over %s@." dir;
+    let rec loop () =
+      Fmt.pr "mqr> %!";
+      match In_channel.input_line stdin with
+      | None -> ()
+      | Some line ->
+        let line = String.trim line in
+        (try
+           if line = "" then ()
+           else if line = "\\q" then raise Exit
+           else begin
+             match Engine.execute engine ~mode:!mode line with
+             | Engine.Rows report ->
+               Array.iter
+                 (fun t -> Fmt.pr "%a@." Mqr_storage.Tuple.pp t)
+                 report.Dispatcher.rows;
+               Fmt.pr "(%d rows, %.1f simulated ms)@."
+                 (Array.length report.Dispatcher.rows)
+                 report.Dispatcher.elapsed_ms
+             | Engine.Modified { table; count } ->
+               Fmt.pr "%d rows affected in %s@." count table
+             | Engine.Created what -> Fmt.pr "created %s@." what
+             | Engine.Analyzed table -> Fmt.pr "analyzed %s@." table
+           end
+         with
+         | Exit -> raise Exit
+         | e -> Fmt.pr "error: %s@." (Printexc.to_string e));
+        loop ()
+    in
+    (try loop () with Exit -> ());
+    Fmt.pr "bye.@."
+  in
+  let info =
+    Cmd.info "load" ~doc:"Open a saved database directory in an interactive shell."
+  in
+  Cmd.v info Term.(const action $ db_arg $ budget_arg)
+
+let queries_cmd =
+  let action () =
+    List.iter
+      (fun (q : Queries.query) ->
+         Fmt.pr "%-4s %-8s %d joins@.  %s@.@." q.Queries.name
+           (Queries.klass_to_string q.Queries.klass)
+           q.Queries.joins q.Queries.sql)
+      Queries.all
+  in
+  let info = Cmd.info "queries" ~doc:"List the benchmark queries." in
+  Cmd.v info Term.(const action $ const ())
+
+let () =
+  let info =
+    Cmd.info "mqr_cli"
+      ~doc:"Mid-query re-optimization engine (Kabra & DeWitt, SIGMOD 1998)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; explain_cmd; queries_cmd; repl_cmd; dump_cmd;
+            load_repl_cmd ]))

@@ -1,0 +1,45 @@
+(* Skew (paper Section 3.2, Figure 12): Zipf-distributed attribute values
+   break coarse catalog histograms.  The engine's statistics collectors
+   build purpose-specific histograms at run time and correct the
+   estimates mid-query.
+
+     dune exec examples/skewed_data.exe *)
+
+module Engine = Mqr_core.Engine
+module Dispatcher = Mqr_core.Dispatcher
+module Queries = Mqr_tpcd.Queries
+module Workload = Mqr_tpcd.Workload
+module Histogram = Mqr_stats.Histogram
+
+let run_at_z z =
+  (* catalog statistics kept as equi-width histograms: the "medium
+     inaccuracy" class that degrades under skew *)
+  (* order matters: switching the histogram kind re-analyzes every table,
+     so it must precede the drop/stale degradations *)
+  let degradations =
+    Workload.Histogram_kind Histogram.Equi_width :: Workload.paper_degradations
+  in
+  let catalog = Workload.experiment_catalog ~sf:0.004 ~skew_z:z ~degradations () in
+  let engine = Engine.create ~budget_pages:160 catalog in
+  let q = Queries.find "Q3" in
+  let normal = Engine.run_sql engine ~mode:Dispatcher.Off q.Queries.sql in
+  let reopt = Engine.run_sql engine ~mode:Dispatcher.Full q.Queries.sql in
+  (normal.Dispatcher.elapsed_ms, reopt.Dispatcher.elapsed_ms,
+   reopt.Dispatcher.switches)
+
+let () =
+  Fmt.pr "TPC-D Q3 with equi-width catalog histograms, increasing Zipf skew:@.@.";
+  Fmt.pr "%8s | %12s %12s %8s %s@." "zipf z" "normal(ms)" "reopt(ms)" "ratio"
+    "plan switches";
+  List.iter
+    (fun z ->
+       let normal, reopt, switches = run_at_z z in
+       Fmt.pr "%8.1f | %12.1f %12.1f %8.3f %d@." z normal reopt
+         (reopt /. normal) switches)
+    [ 0.0; 0.3; 0.6; 1.0 ];
+  Fmt.pr
+    "@.Skew interacts with re-optimization in both directions, as in the \
+     paper's Figure 12:@.coarse equi-width statistics degrade under skew \
+     (more to correct), while the@.observed run-time histograms stay exact; \
+     but a skewed heavy hitter can also@.shrink the very intermediate \
+     results whose misestimates re-optimization fixes.@."

@@ -1,0 +1,210 @@
+open Mqr_storage
+module Histogram = Mqr_stats.Histogram
+
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Scalar encodings.                                                   *)
+
+let encode_value = function
+  | Value.Null -> ""
+  | Value.Bool b -> "b:" ^ string_of_bool b
+  | Value.Int i -> "i:" ^ string_of_int i
+  | Value.Float f -> "f:" ^ Printf.sprintf "%h" f
+  | Value.String s -> "s:" ^ s
+  | Value.Date d -> "d:" ^ string_of_int d
+
+let decode_value s =
+  if s = "" then Value.Null
+  else if String.length s < 2 || s.[1] <> ':' then
+    corrupt "bad value literal %S" s
+  else begin
+    let body = String.sub s 2 (String.length s - 2) in
+    match s.[0] with
+    | 'b' -> Value.Bool (bool_of_string body)
+    | 'i' -> Value.Int (int_of_string body)
+    | 'f' -> Value.Float (float_of_string body)
+    | 's' -> Value.String body
+    | 'd' -> Value.Date (int_of_string body)
+    | c -> corrupt "unknown value tag %c" c
+  end
+
+let encode_ty = Value.ty_to_string
+
+let decode_ty = function
+  | "BOOL" -> Value.TBool
+  | "INT" -> Value.TInt
+  | "FLOAT" -> Value.TFloat
+  | "STRING" -> Value.TString
+  | "DATE" -> Value.TDate
+  | s -> corrupt "unknown type %S" s
+
+let encode_kind = Histogram.kind_to_string
+
+let decode_kind = function
+  | "equi-width" -> Histogram.Equi_width
+  | "equi-depth" -> Histogram.Equi_depth
+  | "maxdiff" -> Histogram.Maxdiff
+  | "serial" -> Histogram.Serial
+  | "v-optimal" -> Histogram.V_optimal
+  | s -> corrupt "unknown histogram kind %S" s
+
+let fl = string_of_float
+let parse_fl s = try float_of_string s with Failure _ -> corrupt "bad float %S" s
+
+let opt_to_string f = function None -> "" | Some v -> f v
+let opt_of_string f = function "" -> None | s -> Some (f s)
+
+(* ------------------------------------------------------------------ *)
+(* Save.                                                               *)
+
+let ( // ) = Filename.concat
+
+let save_table dir (tbl : Catalog.table) =
+  let name = tbl.Catalog.name in
+  let schema = Heap_file.schema tbl.Catalog.heap in
+  Csv.write_file (dir // (name ^ ".schema.csv"))
+    (List.map
+       (fun c ->
+          [ c.Schema.name; encode_ty c.Schema.ty; string_of_int c.Schema.avg_width ])
+       (Schema.columns schema));
+  let rows = ref [] in
+  Heap_file.iter tbl.Catalog.heap (fun _ t ->
+      rows := Array.to_list (Array.map encode_value t) :: !rows);
+  Csv.write_file (dir // (name ^ ".data.csv")) (List.rev !rows);
+  let meta =
+    [ [ "believed_rows"; string_of_int tbl.Catalog.believed_rows ];
+      [ "believed_pages"; string_of_int tbl.Catalog.believed_pages ];
+      [ "updates"; string_of_int tbl.Catalog.updates_since_analyze ] ]
+    @ List.map (fun ix -> [ "index"; ix.Catalog.column ]) tbl.Catalog.indexes
+  in
+  Csv.write_file (dir // (name ^ ".meta.csv")) meta;
+  let stats_rows = ref [] in
+  Array.iteri
+    (fun i (st : Column_stats.t) ->
+       let idx = string_of_int i in
+       stats_rows :=
+         [ "col"; idx;
+           string_of_bool st.Column_stats.is_key;
+           string_of_bool st.Column_stats.stale;
+           opt_to_string fl st.Column_stats.distinct;
+           opt_to_string encode_value st.Column_stats.min_v;
+           opt_to_string encode_value st.Column_stats.max_v ]
+         :: !stats_rows;
+       (match st.Column_stats.histogram with
+        | None -> ()
+        | Some h ->
+          stats_rows := [ "hist"; idx; encode_kind (Histogram.kind h) ] :: !stats_rows;
+          List.iter
+            (fun (b : Histogram.bucket) ->
+               stats_rows :=
+                 [ "bucket"; idx; fl b.Histogram.lo; fl b.Histogram.hi;
+                   fl b.Histogram.rows; fl b.Histogram.distinct ]
+                 :: !stats_rows)
+            (Histogram.buckets h));
+       match st.Column_stats.dict with
+       | None -> ()
+       | Some dict ->
+         List.iter
+           (fun (s, ord) -> stats_rows := [ "dict"; idx; s; fl ord ] :: !stats_rows)
+           dict)
+    tbl.Catalog.stats;
+  Csv.write_file (dir // (name ^ ".stats.csv")) (List.rev !stats_rows)
+
+let save catalog ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let tables =
+    List.sort (fun (a : Catalog.table) b -> compare a.Catalog.name b.Catalog.name)
+      (Catalog.tables catalog)
+  in
+  Csv.write_file (dir // "tables.csv")
+    (List.map (fun (t : Catalog.table) -> [ t.Catalog.name ]) tables);
+  List.iter (save_table dir) tables
+
+(* ------------------------------------------------------------------ *)
+(* Load.                                                               *)
+
+let load_table catalog dir name =
+  let schema_rows = Csv.read_file (dir // (name ^ ".schema.csv")) in
+  let columns =
+    List.map
+      (fun row ->
+         match row with
+         | [ cname; ty; width ] ->
+           Schema.col ~width:(int_of_string width) cname (decode_ty ty)
+         | _ -> corrupt "%s: bad schema row" name)
+      schema_rows
+  in
+  let schema = Schema.make columns in
+  let heap = Heap_file.create schema in
+  List.iter
+    (fun row ->
+       let tuple = Array.of_list (List.map decode_value row) in
+       if Array.length tuple <> Schema.arity schema then
+         corrupt "%s: arity mismatch in data" name;
+       Heap_file.append heap tuple)
+    (Csv.read_file (dir // (name ^ ".data.csv")));
+  let tbl = Catalog.add_table catalog name heap in
+  (* meta *)
+  List.iter
+    (fun row ->
+       match row with
+       | [ "believed_rows"; v ] -> tbl.Catalog.believed_rows <- int_of_string v
+       | [ "believed_pages"; v ] -> tbl.Catalog.believed_pages <- int_of_string v
+       | [ "updates"; v ] -> tbl.Catalog.updates_since_analyze <- int_of_string v
+       | [ "index"; column ] -> ignore (Catalog.create_index catalog ~table:name ~column)
+       | _ -> corrupt "%s: bad meta row" name)
+    (Csv.read_file (dir // (name ^ ".meta.csv")));
+  (* stats: first pass collects per-column pieces *)
+  let arity = Schema.arity schema in
+  let base = Array.make arity Column_stats.empty in
+  let hist_kind = Array.make arity None in
+  let buckets : Histogram.bucket list array = Array.make arity [] in
+  let dicts : (string * float) list array = Array.make arity [] in
+  List.iter
+    (fun row ->
+       match row with
+       | [ "col"; idx; is_key; stale; distinct; min_v; max_v ] ->
+         let i = int_of_string idx in
+         base.(i) <-
+           { Column_stats.empty with
+             Column_stats.is_key = bool_of_string is_key;
+             stale = bool_of_string stale;
+             distinct = opt_of_string parse_fl distinct;
+             min_v = opt_of_string decode_value min_v;
+             max_v = opt_of_string decode_value max_v }
+       | [ "hist"; idx; kind ] ->
+         hist_kind.(int_of_string idx) <- Some (decode_kind kind)
+       | [ "bucket"; idx; lo; hi; rows; distinct ] ->
+         let i = int_of_string idx in
+         buckets.(i) <-
+           { Histogram.lo = parse_fl lo; hi = parse_fl hi;
+             rows = parse_fl rows; distinct = parse_fl distinct }
+           :: buckets.(i)
+       | [ "dict"; idx; s; ord ] ->
+         let i = int_of_string idx in
+         dicts.(i) <- (s, parse_fl ord) :: dicts.(i)
+       | _ -> corrupt "%s: bad stats row" name)
+    (Csv.read_file (dir // (name ^ ".stats.csv")));
+  tbl.Catalog.stats <-
+    Array.init arity (fun i ->
+        let histogram =
+          match hist_kind.(i) with
+          | None -> None
+          | Some kind ->
+            Some (Histogram.of_buckets kind (Array.of_list (List.rev buckets.(i))))
+        in
+        let dict = match dicts.(i) with [] -> None | d -> Some (List.rev d) in
+        { (base.(i)) with Column_stats.histogram; dict })
+
+let load ~dir =
+  let catalog = Catalog.create () in
+  List.iter
+    (fun row ->
+       match row with
+       | [ name ] -> load_table catalog dir name
+       | _ -> corrupt "bad manifest row")
+    (Csv.read_file (dir // "tables.csv"));
+  catalog

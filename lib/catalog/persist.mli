@@ -1,0 +1,21 @@
+(** Saving and loading a whole catalog to a directory of CSV files.
+
+    Layout under [dir]:
+    - [tables.csv] — manifest of table names;
+    - [<table>.schema.csv] — column name, type, declared width;
+    - [<table>.data.csv] — tuples with type-tagged fields;
+    - [<table>.meta.csv] — believed cardinality/pages, update counter,
+      indexed columns;
+    - [<table>.stats.csv] — per-column statistics including histogram
+      buckets and string dictionaries.
+
+    [load] rebuilds heap files, B+-tree indexes and statistics exactly,
+    including any degradations (stale flags, falsified cardinalities) the
+    saved catalog carried — so experiment setups round-trip. *)
+
+exception Corrupt of string
+
+val save : Catalog.t -> dir:string -> unit
+
+(** @raise Corrupt on malformed files, [Sys_error] on IO problems. *)
+val load : dir:string -> Catalog.t

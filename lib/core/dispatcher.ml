@@ -1,0 +1,721 @@
+open Mqr_storage
+module Catalog = Mqr_catalog.Catalog
+module Column_stats = Mqr_catalog.Column_stats
+module Expr = Mqr_expr.Expr
+module Query = Mqr_sql.Query
+module Plan = Mqr_opt.Plan
+module Optimizer = Mqr_opt.Optimizer
+module Stats_env = Mqr_opt.Stats_env
+module Cost_model = Mqr_opt.Cost_model
+module Memory_manager = Mqr_memman.Memory_manager
+module Exec_ctx = Mqr_exec.Exec_ctx
+module Scan = Mqr_exec.Scan
+module Rows_ops = Mqr_exec.Rows_ops
+module Join = Mqr_exec.Join
+module Sort_op = Mqr_exec.Sort
+module Merge_join = Mqr_exec.Merge_join
+module Aggregate = Mqr_exec.Aggregate
+module Collector = Mqr_exec.Collector
+
+let log_src = Logs.Src.create "mqr.dispatcher" ~doc:"Mid-query re-optimization"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type mode = Off | Memory_only | Plan_only | Full
+
+let mode_to_string = function
+  | Off -> "off"
+  | Memory_only -> "memory-only"
+  | Plan_only -> "plan-only"
+  | Full -> "full"
+
+type config = {
+  catalog : Catalog.t;
+  model : Sim_clock.model;
+  pool_pages : int;
+  budget_pages : int;
+  params : Reopt_policy.params;
+  opt_options : Optimizer.options;
+  mode : mode;
+  start_sampling : int option;
+      (* probe uncertain local predicates with this many sampled rows
+         before optimizing (hybrid parametric/dynamic strategy) *)
+}
+
+type event =
+  | Ev_unit_done of { op : string; est_rows : float; actual_rows : int }
+  | Ev_collected of { cid : int; alias : string; columns : string list }
+  | Ev_realloc of { grants : Memory_manager.grant list }
+  | Ev_considered of {
+      decision : Reopt_policy.decision;
+      t_improved : float;
+      t_optimizer : float;
+      t_opt_estimated : float;
+    }
+  | Ev_switched of {
+      t_new_total : float;
+      t_improved : float;
+      materialize_ms : float;
+    }
+  | Ev_rejected of { t_new_total : float; t_improved : float }
+  | Ev_sampled of Sampling.probe
+
+type report = {
+  rows : Tuple.t array;
+  result_schema : Schema.t;
+  elapsed_ms : float;
+  counters : Sim_clock.counters;
+  events : event list;
+  switches : int;
+  collectors : int;
+  initial_plan : Plan.t;
+  final_plan : Plan.t;
+  actual_rows : (int * int) list;
+      (* (plan node id, observed output rows) for every executed node *)
+  actual_ms : (int * float) list;
+      (* (plan node id, simulated ms spent in that node alone) *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Run state.                                                          *)
+
+type state = {
+  cfg : config;
+  ctx : Exec_ctx.t;
+  memman : Memory_manager.t;
+  query : Query.t;
+  mutable env : Stats_env.t;
+  mutable current : Plan.t;
+  (* original optimizer estimates per node id — the plan annotations *)
+  orig_op_ms : (int, float) Hashtbl.t;
+  (* in-memory intermediate results by temp-table name *)
+  store : (string, Tuple.t array * Schema.t) Hashtbl.t;
+  (* observed column statistics, re-applied to every new Stats_env *)
+  mutable overrides : (string * Column_stats.t) list;
+  mutable temp_names : string list;
+  mutable events : event list;
+  mutable switches : int;
+  mutable next_temp : int;
+  mutable next_id : int;  (* fresh plan-node ids *)
+  (* observed output cardinality per executed plan-node id *)
+  actuals : (int, int) Hashtbl.t;
+  (* simulated milliseconds spent inside each node (children excluded) *)
+  actual_ms : (int, float) Hashtbl.t;
+}
+
+(* forward declaration for logging of events (defined below) *)
+let pp_event_ref :
+  (Format.formatter -> event -> unit) ref =
+  ref (fun _ _ -> ())
+
+let emit st ev =
+  st.events <- ev :: st.events;
+  Log.debug (fun m -> m "%a" !pp_event_ref ev)
+
+let fresh_plan_id st =
+  st.next_id <- st.next_id + 1;
+  st.next_id
+
+let fresh_temp_name st =
+  st.next_temp <- st.next_temp + 1;
+  Printf.sprintf "__temp_%d" st.next_temp
+
+let record_annotations st plan =
+  List.iter
+    (fun (n : Plan.t) ->
+       Hashtbl.replace st.orig_op_ms n.Plan.id n.Plan.est.Plan.op_ms)
+    (Plan.nodes plan)
+
+let apply_overrides st env =
+  List.iter
+    (fun (column, stats) -> Stats_env.override env ~column stats)
+    st.overrides
+
+(* ------------------------------------------------------------------ *)
+(* Executing plan nodes.                                               *)
+
+let bare_column col =
+  match String.index_opt col '.' with
+  | Some i -> String.sub col (i + 1) (String.length col - i - 1)
+  | None -> col
+
+let heap_of st table = (Catalog.find_exn st.cfg.catalog table).Catalog.heap
+
+let rec exec_node st (p : Plan.t) : Tuple.t array * Schema.t =
+  let t0 = Sim_clock.snapshot st.ctx.Exec_ctx.clock in
+  let rows, schema = exec_node_inner st p in
+  let total = Sim_clock.since st.ctx.Exec_ctx.clock t0 in
+  let children_ms =
+    List.fold_left
+      (fun acc (c : Plan.t) ->
+         acc +. Option.value ~default:0.0 (Hashtbl.find_opt st.actual_ms c.Plan.id))
+      0.0 (Plan.children p)
+  in
+  Hashtbl.replace st.actual_ms p.Plan.id (Float.max 0.0 (total -. children_ms));
+  Hashtbl.replace st.actuals p.Plan.id (Array.length rows);
+  (rows, schema)
+
+and exec_node_inner st (p : Plan.t) : Tuple.t array * Schema.t =
+  let ctx = st.ctx in
+  match p.Plan.node with
+  | Plan.Seq_scan { table; alias = _; filter } ->
+    let rows = Scan.seq_scan ctx (heap_of st table) in
+    let rows =
+      match filter with
+      | None -> rows
+      | Some pred -> Rows_ops.filter ctx p.Plan.schema pred rows
+    in
+    (rows, p.Plan.schema)
+  | Plan.Index_scan { table; alias = _; index_col; lo; hi; filter } ->
+    let tbl = Catalog.find_exn st.cfg.catalog table in
+    let index =
+      match Catalog.find_index tbl ~column:(bare_column index_col) with
+      | Some ix -> ix.Catalog.btree
+      | None -> invalid_arg ("Dispatcher: missing index on " ^ index_col)
+    in
+    let rows = Scan.index_scan ctx tbl.Catalog.heap index ?lo ?hi () in
+    let rows =
+      match filter with
+      | None -> rows
+      | Some pred -> Rows_ops.filter ctx p.Plan.schema pred rows
+    in
+    (rows, p.Plan.schema)
+  | Plan.Materialized { name; on_disk; _ } ->
+    let rows, schema =
+      match Hashtbl.find_opt st.store name with
+      | Some r -> r
+      | None -> invalid_arg ("Dispatcher: unknown intermediate " ^ name)
+    in
+    if on_disk then begin
+      let pages =
+        Exec_ctx.pages_of_bytes (Rows_ops.bytes_of_rows rows)
+      in
+      Sim_clock.charge_seq_read ctx.Exec_ctx.clock pages;
+      Sim_clock.charge_cpu_tuples ctx.Exec_ctx.clock (Array.length rows)
+    end;
+    (rows, schema)
+  | Plan.Collect { input; spec; cid } ->
+    let rows, schema = exec_node st input in
+    let obs = Collector.collect ctx schema spec rows in
+    let columns =
+      spec.Collector.hist_cols @ spec.Collector.distinct_cols
+    in
+    List.iter
+      (fun column ->
+         st.overrides <-
+           (column, Collector.column_stats_of_observed obs ~column)
+           :: List.remove_assoc column st.overrides;
+         Stats_env.override st.env ~column
+           (Collector.column_stats_of_observed obs ~column))
+      columns;
+    let alias =
+      match input.Plan.node with
+      | Plan.Seq_scan { alias; _ } | Plan.Index_scan { alias; _ } -> alias
+      | _ -> Plan.op_name input
+    in
+    emit st (Ev_collected { cid; alias; columns });
+    (rows, schema)
+  | Plan.Hash_join { build; probe; keys; extra } ->
+    let build_rows, build_schema = exec_node st build in
+    let probe_rows, probe_schema = exec_node st probe in
+    let mem_pages = if p.Plan.mem > 0 then p.Plan.mem else p.Plan.max_mem in
+    let r =
+      Join.hash_join ctx ~mem_pages ~build:(build_rows, build_schema)
+        ~probe:(probe_rows, probe_schema) ~keys ?extra ()
+    in
+    (r.Join.rows, r.Join.schema)
+  | Plan.Index_nl_join
+      { outer; table; alias; outer_col = oc; inner_col; inner_filter; extra } ->
+    let outer_rows, outer_schema = exec_node st outer in
+    let tbl = Catalog.find_exn st.cfg.catalog table in
+    let index =
+      match Catalog.find_index tbl ~column:(bare_column inner_col) with
+      | Some ix -> ix.Catalog.btree
+      | None -> invalid_arg ("Dispatcher: missing index on " ^ inner_col)
+    in
+    let inner_schema = Schema.qualify (Heap_file.schema tbl.Catalog.heap) alias in
+    let residual =
+      match List.filter_map Fun.id [ inner_filter; extra ] with
+      | [] -> None
+      | l -> Some (Expr.conjoin l)
+    in
+    let r =
+      Join.index_nl_join ctx ~outer:(outer_rows, outer_schema)
+        ~inner_heap:tbl.Catalog.heap ~inner_schema ~inner_index:index
+        ~outer_col:oc ?extra:residual ()
+    in
+    (r.Join.rows, r.Join.schema)
+  | Plan.Block_nl_join { outer; inner; pred } ->
+    let outer_rows, outer_schema = exec_node st outer in
+    let inner_rows, inner_schema = exec_node st inner in
+    let mem_pages = if p.Plan.mem > 0 then p.Plan.mem else p.Plan.max_mem in
+    let r =
+      Join.block_nl_join st.ctx ~mem_pages ~outer:(outer_rows, outer_schema)
+        ~inner:(inner_rows, inner_schema) ?pred ()
+    in
+    (r.Join.rows, r.Join.schema)
+  | Plan.Merge_join { left; right; keys; extra; left_sorted; right_sorted } ->
+    let left_rows, left_schema = exec_node st left in
+    let right_rows, right_schema = exec_node st right in
+    let mem_pages = if p.Plan.mem > 0 then p.Plan.mem else p.Plan.max_mem in
+    let r =
+      Merge_join.merge_join ctx ~mem_pages ~left_sorted ~right_sorted
+        ~left:(left_rows, left_schema) ~right:(right_rows, right_schema)
+        ~keys ?extra ()
+    in
+    (r.Merge_join.rows, r.Merge_join.schema)
+  | Plan.Aggregate { input; group_by; aggs; pre_sorted } ->
+    let rows, schema = exec_node st input in
+    if pre_sorted then begin
+      let r = Aggregate.sorted_aggregate ctx schema ~group_by ~aggs rows in
+      (r.Aggregate.rows, r.Aggregate.schema)
+    end
+    else begin
+      let mem_pages = if p.Plan.mem > 0 then p.Plan.mem else p.Plan.max_mem in
+      let r =
+        Aggregate.hash_aggregate ctx ~mem_pages schema ~group_by ~aggs rows
+      in
+      (r.Aggregate.rows, r.Aggregate.schema)
+    end
+  | Plan.Sort { input; keys } ->
+    let rows, schema = exec_node st input in
+    let mem_pages = if p.Plan.mem > 0 then p.Plan.mem else p.Plan.max_mem in
+    let r = Sort_op.sort ctx ~mem_pages schema ~keys rows in
+    (r.Sort_op.rows, schema)
+  | Plan.Filter { input; pred } ->
+    let rows, schema = exec_node st input in
+    (Rows_ops.filter ctx schema pred rows, schema)
+  | Plan.Project { input; cols } ->
+    let rows, schema = exec_node st input in
+    Rows_ops.project ctx schema cols rows
+  | Plan.Limit { input; n } ->
+    let rows, schema = exec_node st input in
+    (Rows_ops.limit ctx n rows, schema)
+
+(* ------------------------------------------------------------------ *)
+(* Unit selection and plan surgery.                                    *)
+
+let is_join (p : Plan.t) =
+  match p.Plan.node with
+  | Plan.Hash_join _ | Plan.Index_nl_join _ | Plan.Block_nl_join _
+  | Plan.Merge_join _ -> true
+  | _ -> false
+
+(* Deepest leftmost join whose inputs contain no other join. *)
+let rec find_ready_join (p : Plan.t) =
+  match List.find_map find_ready_join (Plan.children p) with
+  | Some j -> Some j
+  | None -> if is_join p then Some p else None
+
+let rec replace_node (p : Plan.t) ~target_id ~replacement =
+  if p.Plan.id = target_id then replacement
+  else
+    Plan.with_children p
+      (List.map
+         (replace_node ~target_id ~replacement)
+         (Plan.children p))
+
+(* ------------------------------------------------------------------ *)
+(* Registering an intermediate result as a temp table.                 *)
+
+let register_temp st ~name ~rows ~schema =
+  let heap = Heap_file.create schema in
+  Array.iter (Heap_file.append heap) rows;
+  let table = Catalog.add_table st.cfg.catalog name heap in
+  (* Free statistics: exact cardinality plus per-column min/max (the paper
+     collects these for every intermediate result); histograms/distincts
+     inherited from upstream collectors where the column passed through. *)
+  let base_obs = Collector.collect st.ctx schema (Collector.spec ()) rows in
+  table.Catalog.stats <-
+    Array.of_list
+      (List.map
+         (fun col ->
+            let q =
+              if col.Schema.qualifier = "" then col.Schema.name
+              else col.Schema.qualifier ^ "." ^ col.Schema.name
+            in
+            match List.assoc_opt q st.overrides with
+            | Some stats -> stats
+            | None -> Collector.column_stats_of_observed base_obs ~column:q)
+         (Schema.columns schema));
+  st.temp_names <- name :: st.temp_names;
+  Hashtbl.replace st.store name (rows, schema)
+
+(* ------------------------------------------------------------------ *)
+(* Remainder-query reconstruction (paper Figure 6: SQL over Temp_i).   *)
+
+let remainder_query st (current : Plan.t) : Query.t =
+  let q = st.query in
+  let relations = ref [] and conjuncts = ref [] in
+  let add_relation r = relations := r :: !relations in
+  let add_conjuncts cs = conjuncts := cs @ !conjuncts in
+  let original_relation alias =
+    match
+      List.find_opt (fun (r : Query.relation) -> r.Query.alias = alias)
+        q.Query.relations
+    with
+    | Some r -> r
+    | None ->
+      (* a temp table introduced by an earlier plan switch: its heap schema
+         already carries the original qualifiers *)
+      (match Hashtbl.find_opt st.store alias with
+       | Some (_, schema) -> { Query.table = alias; alias; rel_schema = schema }
+       | None -> invalid_arg ("Dispatcher: unknown alias " ^ alias))
+  in
+  let rec walk (p : Plan.t) =
+    match p.Plan.node with
+    | Plan.Materialized { name; _ } ->
+      let _, schema = Hashtbl.find st.store name in
+      add_relation { Query.table = name; alias = name; rel_schema = schema }
+    | Plan.Seq_scan { alias; filter; _ } | Plan.Index_scan { alias; filter; _ } ->
+      add_relation (original_relation alias);
+      (match filter with
+       | Some f -> add_conjuncts (Expr.conjuncts f)
+       | None -> ())
+    | Plan.Hash_join { build; probe; keys; extra } ->
+      walk build;
+      walk probe;
+      add_conjuncts
+        (List.map (fun (a, b) -> Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b)) keys);
+      (match extra with Some e -> add_conjuncts (Expr.conjuncts e) | None -> ())
+    | Plan.Index_nl_join
+        { outer; alias; outer_col = oc; inner_col; inner_filter; extra; _ } ->
+      walk outer;
+      add_relation (original_relation alias);
+      add_conjuncts [ Expr.Cmp (Expr.Eq, Expr.Col oc, Expr.Col inner_col) ];
+      (match inner_filter with
+       | Some f -> add_conjuncts (Expr.conjuncts f)
+       | None -> ());
+      (match extra with Some e -> add_conjuncts (Expr.conjuncts e) | None -> ())
+    | Plan.Block_nl_join { outer; inner; pred } ->
+      walk outer;
+      walk inner;
+      (match pred with Some e -> add_conjuncts (Expr.conjuncts e) | None -> ())
+    | Plan.Merge_join { left; right; keys; extra; _ } ->
+      walk left;
+      walk right;
+      add_conjuncts
+        (List.map (fun (a, b) -> Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b)) keys);
+      (match extra with Some e -> add_conjuncts (Expr.conjuncts e) | None -> ())
+    | Plan.Aggregate { input; _ } | Plan.Sort { input; _ }
+    | Plan.Project { input; _ } | Plan.Limit { input; _ }
+    | Plan.Collect { input; _ } | Plan.Filter { input; _ } ->
+      walk input
+  in
+  walk current;
+  { Query.relations = List.rev !relations;
+    conjuncts = List.rev !conjuncts;
+    select_cols = q.Query.select_cols;
+    aggs = q.Query.aggs;
+    group_by = q.Query.group_by;
+    having = q.Query.having;
+    order_by = q.Query.order_by;
+    limit = q.Query.limit }
+
+(* Materialization overhead of switching: writing every in-memory
+   intermediate of the current plan to disk. *)
+let pending_materialize_ms st (current : Plan.t) =
+  Plan.fold
+    (fun acc (n : Plan.t) ->
+       match n.Plan.node with
+       | Plan.Materialized { name; on_disk = false; _ } ->
+         let rows, _ = Hashtbl.find st.store name in
+         let pages =
+           float_of_int (Exec_ctx.pages_of_bytes (Rows_ops.bytes_of_rows rows))
+         in
+         acc +. (pages *. st.cfg.model.Sim_clock.write_ms)
+       | _ -> acc)
+    0.0 current
+
+let charge_materialization st (current : Plan.t) =
+  let rec fix (p : Plan.t) =
+    match p.Plan.node with
+    | Plan.Materialized ({ name; on_disk = false; _ } as m) ->
+      let rows, _ = Hashtbl.find st.store name in
+      let pages = Exec_ctx.pages_of_bytes (Rows_ops.bytes_of_rows rows) in
+      Sim_clock.charge_write st.ctx.Exec_ctx.clock pages;
+      { p with Plan.node = Plan.Materialized { m with on_disk = true } }
+    | _ -> Plan.with_children p (List.map fix (Plan.children p))
+  in
+  fix current
+
+(* ------------------------------------------------------------------ *)
+(* Decision point, after each completed unit.                          *)
+
+let reallocate st =
+  let grants = Memory_manager.allocate st.memman st.current in
+  st.current <- Optimizer.recost ~planning_mem:st.cfg.opt_options.Optimizer.planning_mem_pages
+      ~model:st.cfg.model ~env:st.env st.current;
+  emit st (Ev_realloc { grants })
+
+let count_leaf_relations (p : Plan.t) =
+  Plan.fold
+    (fun acc (n : Plan.t) ->
+       match n.Plan.node with
+       | Plan.Seq_scan _ | Plan.Index_scan _ | Plan.Materialized _ -> acc + 1
+       | Plan.Index_nl_join _ -> acc + 1
+       | _ -> acc)
+    0 p
+
+let try_replan st =
+  let t_improved = st.current.Plan.est.Plan.total_ms in
+  let t_optimizer =
+    List.fold_left
+      (fun acc (n : Plan.t) ->
+         match Hashtbl.find_opt st.orig_op_ms n.Plan.id with
+         | Some ms -> acc +. ms
+         | None -> acc)
+      0.0 (Plan.nodes st.current)
+  in
+  let t_opt_estimated =
+    Optimizer.estimated_opt_ms ~model:st.cfg.model
+      ~relations:(count_leaf_relations st.current)
+  in
+  let decision =
+    Reopt_policy.should_consider st.cfg.params ~t_opt_estimated ~t_improved
+      ~t_optimizer
+  in
+  emit st (Ev_considered { decision; t_improved; t_optimizer; t_opt_estimated });
+  match decision with
+  | Reopt_policy.Too_cheap | Reopt_policy.Close_enough -> ()
+  | Reopt_policy.Consider ->
+    let rq = remainder_query st st.current in
+    let env' = Stats_env.create st.cfg.catalog rq.Query.relations in
+    apply_overrides st env';
+    (match
+       Optimizer.optimize ~options:st.cfg.opt_options
+         ~clock:st.ctx.Exec_ctx.clock ~model:st.cfg.model ~env:env' rq
+     with
+     | exception Optimizer.Planning_error _ -> ()
+     | { Optimizer.plan = new_plan; _ } ->
+       let materialize_ms = pending_materialize_ms st st.current in
+       (* reading the temp back is already in the new plan's scan costs *)
+       let t_new_total = new_plan.Plan.est.Plan.total_ms +. materialize_ms in
+       if Reopt_policy.accept_new_plan ~t_new_total ~t_improved then begin
+         (* Switch: pay the writes, renumber the new plan's ids into our
+            space, adopt its annotations as the new baseline. *)
+         ignore (charge_materialization st st.current);
+         let rec renumber (p : Plan.t) =
+           let kids = List.map renumber (Plan.children p) in
+           { (Plan.with_children p kids) with Plan.id = fresh_plan_id st }
+         in
+         let new_plan = renumber new_plan in
+         let scia =
+           Scia.insert ~mu:st.cfg.params.Reopt_policy.mu ~env:env' new_plan
+         in
+         let new_plan =
+           Optimizer.recost ~planning_mem:st.cfg.opt_options.Optimizer.planning_mem_pages ~model:st.cfg.model ~env:env' scia.Scia.plan
+         in
+         st.env <- env';
+         st.current <- new_plan;
+         record_annotations st new_plan;
+         ignore (Memory_manager.allocate st.memman st.current);
+         st.current <-
+           Optimizer.recost ~planning_mem:st.cfg.opt_options.Optimizer.planning_mem_pages
+      ~model:st.cfg.model ~env:st.env st.current;
+         st.switches <- st.switches + 1;
+         emit st (Ev_switched { t_new_total; t_improved; materialize_ms })
+       end
+       else emit st (Ev_rejected { t_new_total; t_improved }))
+
+let decision_point st =
+  (* improved estimates for the remainder *)
+  st.current <- Optimizer.recost ~planning_mem:st.cfg.opt_options.Optimizer.planning_mem_pages
+      ~model:st.cfg.model ~env:st.env st.current;
+  (match st.cfg.mode with
+   | Off -> ()
+   | Memory_only -> reallocate st
+   | Plan_only ->
+     if Plan.join_count st.current >= 1
+     && st.switches < st.cfg.params.Reopt_policy.max_switches
+     then try_replan st
+   | Full ->
+     (* Re-allocation is free, so apply it first; a plan switch must then
+        beat the re-allocated current plan, not the starved one. *)
+     reallocate st;
+     if Plan.join_count st.current >= 1
+     && st.switches < st.cfg.params.Reopt_policy.max_switches
+     then try_replan st)
+
+(* ------------------------------------------------------------------ *)
+(* Main loop.                                                          *)
+
+let run ?prepared cfg query =
+  let ctx = Exec_ctx.create ~model:cfg.model ~pool_pages:cfg.pool_pages () in
+  let env = Stats_env.create cfg.catalog query.Query.relations in
+  (* Start-time probing is orthogonal to mid-query re-optimization: it
+     improves the very first plan even in Off mode. *)
+  let probes =
+    match cfg.start_sampling with
+    | Some n when n > 0 ->
+      Sampling.probe_and_override ~catalog:cfg.catalog ~ctx ~env query
+        ~sample_rows:n
+    | _ -> []
+  in
+  let plan0, collectors =
+    match prepared with
+    | Some (plan, collectors) ->
+      (* a cached static plan: optimization and collector insertion were
+         paid when it was first compiled *)
+      (plan, collectors)
+    | None ->
+      let opt =
+        Optimizer.optimize ~options:cfg.opt_options ~clock:ctx.Exec_ctx.clock
+          ~model:cfg.model ~env query
+      in
+      (match cfg.mode with
+       | Off -> (opt.Optimizer.plan, 0)
+       | _ ->
+         let scia =
+           Scia.insert ~mu:cfg.params.Reopt_policy.mu ~env opt.Optimizer.plan
+         in
+         (Optimizer.recost
+            ~planning_mem:cfg.opt_options.Optimizer.planning_mem_pages
+            ~model:cfg.model ~env scia.Scia.plan,
+          List.length scia.Scia.kept))
+  in
+  let memman = Memory_manager.create ~budget_pages:cfg.budget_pages in
+  ignore (Memory_manager.allocate memman plan0);
+  let plan0 =
+    Optimizer.recost ~planning_mem:cfg.opt_options.Optimizer.planning_mem_pages
+      ~model:cfg.model ~env plan0
+  in
+  let max_id =
+    List.fold_left (fun m (n : Plan.t) -> max m n.Plan.id) 0 (Plan.nodes plan0)
+  in
+  let st =
+    { cfg;
+      ctx;
+      memman;
+      query;
+      env;
+      current = plan0;
+      orig_op_ms = Hashtbl.create 64;
+      store = Hashtbl.create 8;
+      overrides = [];
+      temp_names = [];
+      events = [];
+      switches = 0;
+      next_temp = 0;
+      next_id = max_id;
+      actuals = Hashtbl.create 64;
+      actual_ms = Hashtbl.create 64 }
+  in
+  record_annotations st plan0;
+  List.iter (fun p -> emit st (Ev_sampled p)) probes;
+  (* Execute join units one by one, with a decision point after each. *)
+  let rec loop () =
+    match find_ready_join st.current with
+    | None -> ()
+    | Some j ->
+      let rows, schema = exec_node st j in
+      emit st
+        (Ev_unit_done
+           { op = Plan.op_name j;
+             est_rows = j.Plan.est.Plan.rows;
+             actual_rows = Array.length rows });
+      let name = fresh_temp_name st in
+      register_temp st ~name ~rows ~schema;
+      let leaf =
+        { Plan.id = fresh_plan_id st;
+          node =
+            Plan.Materialized
+              { name; covers = Plan.aliases j; on_disk = false };
+          schema;
+          est =
+            { Plan.rows = float_of_int (Array.length rows);
+              width =
+                (if Array.length rows = 0 then 1.0
+                 else
+                   float_of_int (Rows_ops.bytes_of_rows rows)
+                   /. float_of_int (Array.length rows));
+              op_ms = 0.0;
+              total_ms = 0.0 };
+          min_mem = 0;
+          max_mem = 0;
+          mem = 0 }
+      in
+      st.current <- replace_node st.current ~target_id:j.Plan.id ~replacement:leaf;
+      decision_point st;
+      loop ()
+  in
+  loop ();
+  (* Remaining stack: aggregate/sort/project/limit over the last result. *)
+  let rows, result_schema = exec_node st st.current in
+  (* Drop temp tables so the engine can be reused. *)
+  List.iter (Catalog.drop_table cfg.catalog) st.temp_names;
+  { rows;
+    result_schema;
+    elapsed_ms = Sim_clock.elapsed_ms ctx.Exec_ctx.clock;
+    counters = Sim_clock.counters ctx.Exec_ctx.clock;
+    events = List.rev st.events;
+    switches = st.switches;
+    collectors;
+    initial_plan = plan0;
+    final_plan = st.current;
+    actual_rows = Hashtbl.fold (fun id n acc -> (id, n) :: acc) st.actuals [];
+    actual_ms =
+      Hashtbl.fold (fun id ms acc -> (id, ms) :: acc) st.actual_ms [] }
+
+(* EXPLAIN ANALYZE-style rendering: the annotated plan with observed
+   cardinalities next to the estimates. *)
+let pp_plan_with_actuals fmt (plan, actuals) =
+  let rec go indent (p : Plan.t) =
+    let pad = String.make indent ' ' in
+    let actual =
+      match List.assoc_opt p.Plan.id actuals with
+      | Some n -> Printf.sprintf "%d" n
+      | None -> "-"
+    in
+    Fmt.pf fmt "%s%s  [est=%.0f actual=%s rows]@." pad (Plan.op_name p)
+      p.Plan.est.Plan.rows actual;
+    List.iter (go (indent + 2)) (Plan.children p)
+  in
+  go 0 plan
+
+(* Full EXPLAIN ANALYZE: estimated vs observed rows and per-operator
+   simulated time. *)
+let pp_explain_analyze fmt (report : report) =
+  let rec go indent (p : Plan.t) =
+    let pad = String.make indent ' ' in
+    let rows =
+      match List.assoc_opt p.Plan.id report.actual_rows with
+      | Some n -> Printf.sprintf "%d" n
+      | None -> "-"
+    in
+    let ms =
+      match List.assoc_opt p.Plan.id report.actual_ms with
+      | Some v -> Printf.sprintf "%.1f" v
+      | None -> "-"
+    in
+    Fmt.pf fmt "%s%s  [rows est=%.0f actual=%s | ms est=%.1f actual=%s]@."
+      pad (Plan.op_name p) p.Plan.est.Plan.rows rows p.Plan.est.Plan.op_ms ms;
+    List.iter (go (indent + 2)) (Plan.children p)
+  in
+  go 0 report.initial_plan
+
+let pp_event fmt = function
+  | Ev_unit_done { op; est_rows; actual_rows } ->
+    Fmt.pf fmt "unit done: %s (estimated %.0f rows, actual %d)" op est_rows
+      actual_rows
+  | Ev_collected { cid; alias; columns } ->
+    Fmt.pf fmt "collected #%d at %s: %s" cid alias (String.concat ", " columns)
+  | Ev_realloc { grants } ->
+    Fmt.pf fmt "memory re-allocated: %a"
+      (Fmt.list ~sep:Fmt.comma Memory_manager.pp_grant)
+      grants
+  | Ev_considered { decision; t_improved; t_optimizer; t_opt_estimated } ->
+    Fmt.pf fmt
+      "re-optimization %s (T_improved=%.1fms T_optimizer=%.1fms T_opt,est=%.1fms)"
+      (Reopt_policy.decision_to_string decision)
+      t_improved t_optimizer t_opt_estimated
+  | Ev_switched { t_new_total; t_improved; materialize_ms } ->
+    Fmt.pf fmt
+      "plan switched: T_new=%.1fms < T_improved=%.1fms (materialize %.1fms)"
+      t_new_total t_improved materialize_ms
+  | Ev_rejected { t_new_total; t_improved } ->
+    Fmt.pf fmt "new plan rejected: T_new=%.1fms >= T_improved=%.1fms"
+      t_new_total t_improved
+  | Ev_sampled probe -> Sampling.pp_probe fmt probe
+
+let () = pp_event_ref := pp_event

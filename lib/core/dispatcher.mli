@@ -1,0 +1,98 @@
+(** The scheduler/dispatcher with Dynamic Re-Optimization (paper Figure 9).
+
+    Events are also traced on the [mqr.dispatcher] {!Logs} source at debug
+    level — enable with [Logs.Src.set_level Dispatcher.log_src (Some Debug)].
+
+    A plan executes as a sequence of units (a join together with the scan
+    pipelines feeding it, then the final aggregate/sort stack).  When a
+    unit completes, the statistics its collectors gathered become
+    available, the remainder of the plan is re-costed under the improved
+    estimates, and — per {!Reopt_policy} — the dispatcher either
+
+    - re-invokes the Memory Manager with the improved estimates (dynamic
+      resource re-allocation), and/or
+    - re-invokes the optimizer on the remainder of the query (posed over
+      the materialized intermediate, as in the paper's Figure 6), and
+      switches plans when the new plan wins even after paying the
+      materialization and re-optimization overheads.
+
+    [mode] isolates the two mechanisms for the Figure 11 experiment. *)
+
+open Mqr_storage
+
+type mode =
+  | Off           (** baseline: no collectors, no re-optimization *)
+  | Memory_only   (** improved estimates only drive memory re-allocation *)
+  | Plan_only     (** improved estimates only drive plan modification *)
+  | Full
+
+val mode_to_string : mode -> string
+
+val log_src : Logs.src
+
+type config = {
+  catalog : Mqr_catalog.Catalog.t;
+  model : Sim_clock.model;
+  pool_pages : int;
+  budget_pages : int;   (** memory-manager budget *)
+  params : Reopt_policy.params;
+  opt_options : Mqr_opt.Optimizer.options;
+  mode : mode;
+  start_sampling : int option;
+      (** probe uncertain local predicates on this many sampled rows
+          before the first optimization (the hybrid strategy of
+          Sections 4-5); [None] disables *)
+}
+
+type event =
+  | Ev_unit_done of { op : string; est_rows : float; actual_rows : int }
+  | Ev_collected of { cid : int; alias : string; columns : string list }
+  | Ev_realloc of { grants : Mqr_memman.Memory_manager.grant list }
+  | Ev_considered of {
+      decision : Reopt_policy.decision;
+      t_improved : float;
+      t_optimizer : float;
+      t_opt_estimated : float;
+    }
+  | Ev_switched of {
+      t_new_total : float;
+      t_improved : float;
+      materialize_ms : float;
+    }
+  | Ev_rejected of { t_new_total : float; t_improved : float }
+  | Ev_sampled of Sampling.probe
+
+type report = {
+  rows : Tuple.t array;
+  result_schema : Schema.t;
+  elapsed_ms : float;
+  counters : Sim_clock.counters;
+  events : event list;
+  switches : int;
+  collectors : int;  (** collectors inserted into the initial plan *)
+  initial_plan : Mqr_opt.Plan.t;
+  final_plan : Mqr_opt.Plan.t;
+  actual_rows : (int * int) list;
+      (** (plan-node id, observed output rows) for every executed node —
+          the raw material of an EXPLAIN ANALYZE *)
+  actual_ms : (int * float) list;
+      (** (plan-node id, simulated milliseconds spent in that node alone) *)
+}
+
+(** Execute a bound query under the configuration.  [prepared] supplies a
+    cached static plan (with its collector count) and skips optimization
+    and collector insertion — see {!Plan_cache}. *)
+val run :
+  ?prepared:Mqr_opt.Plan.t * int -> config -> Mqr_sql.Query.t -> report
+
+val pp_event : Format.formatter -> event -> unit
+
+(** Render a plan with observed cardinalities beside the estimates
+    (EXPLAIN ANALYZE style); pass [report.initial_plan, report.actual_rows]
+    or the final plan. *)
+val pp_plan_with_actuals :
+  Format.formatter -> Mqr_opt.Plan.t * (int * int) list -> unit
+
+(** Full EXPLAIN ANALYZE over the report's initial plan: estimated vs
+    observed cardinalities and per-operator simulated time. *)
+val pp_explain_analyze : Format.formatter -> report -> unit

@@ -1,0 +1,253 @@
+open Mqr_storage
+module Catalog = Mqr_catalog.Catalog
+module Parser = Mqr_sql.Parser
+module Query = Mqr_sql.Query
+module Optimizer = Mqr_opt.Optimizer
+module Stats_env = Mqr_opt.Stats_env
+module Plan = Mqr_opt.Plan
+
+type t = {
+  catalog : Catalog.t;
+  model : Sim_clock.model;
+  pool_pages : int;
+  budget_pages : int;
+  params : Reopt_policy.params;
+  opt_options : Optimizer.options;
+  udfs : Parser.udf_def list ref;
+  plan_cache : Plan_cache.t option;
+}
+
+let create ?(model = Sim_clock.default_model) ?(pool_pages = 2048)
+    ?(budget_pages = 512) ?(params = Reopt_policy.default_params)
+    ?opt_options ?(plan_cache = false) catalog =
+  (* Unless told otherwise, the optimizer assumes each memory consumer will
+     receive about half the memory-manager budget. *)
+  let opt_options =
+    match opt_options with
+    | Some o -> o
+    | None ->
+      { Optimizer.default_options with
+        Optimizer.planning_mem_pages = max 8 (budget_pages / 2) }
+  in
+  { catalog; model; pool_pages; budget_pages; params; opt_options;
+    udfs = ref [];
+    plan_cache = (if plan_cache then Some (Plan_cache.create ()) else None) }
+
+let catalog t = t.catalog
+
+let plan_cache_stats t =
+  Option.map (fun c -> (Plan_cache.hits c, Plan_cache.misses c, Plan_cache.size c))
+    t.plan_cache
+let params t = t.params
+(* Reconfigured engines get a fresh plan cache: plans compiled under the
+   old parameters (different mu, planning memory) must not be served. *)
+let fresh_cache t =
+  Option.map (fun _ -> Plan_cache.create ()) t.plan_cache
+
+let with_params t params = { t with params; plan_cache = fresh_cache t }
+let with_budget t ~budget_pages =
+  { t with
+    budget_pages;
+    plan_cache = fresh_cache t;
+    opt_options =
+      { t.opt_options with
+        Optimizer.planning_mem_pages = max 8 (budget_pages / 2) } }
+
+let register_udf t ~name ?selectivity fn =
+  t.udfs := { Parser.name; fn; selectivity } :: !(t.udfs)
+
+let config t mode start_sampling =
+  { Dispatcher.catalog = t.catalog;
+    model = t.model;
+    pool_pages = t.pool_pages;
+    budget_pages = t.budget_pages;
+    params = t.params;
+    opt_options = t.opt_options;
+    mode;
+    start_sampling }
+
+let bind_sql t sql = Query.bind t.catalog (Parser.parse ~udfs:!(t.udfs) sql)
+
+type exec_result =
+  | Rows of Dispatcher.report
+  | Modified of { table : string; count : int }
+  | Created of string
+  | Analyzed of string
+
+exception Dml_error of string
+
+let const_value schema_col e =
+  let v =
+    match e with
+    | Mqr_expr.Expr.Const v -> v
+    | e ->
+      (* allow constant arithmetic, e.g. -3 or 2+2 *)
+      (try Mqr_expr.Expr.compile (Schema.make []) e [||]
+       with _ -> raise (Dml_error "INSERT values must be constants"))
+  in
+  (* light coercion toward the column type *)
+  match v, schema_col.Schema.ty with
+  | Value.Null, _ -> Value.Null
+  | Value.Int i, Value.TFloat -> Value.Float (float_of_int i)
+  | Value.Int i, Value.TDate -> Value.Date i
+  | v, ty when Value.type_of v = ty -> v
+  | v, ty ->
+    raise
+      (Dml_error
+         (Printf.sprintf "value %s does not fit column %s of type %s"
+            (Value.to_string v) schema_col.Schema.name (Value.ty_to_string ty)))
+
+let insert_rows t ~table rows =
+  let tbl = Catalog.find_exn t.catalog table in
+  let schema = Heap_file.schema tbl.Catalog.heap in
+  let arity = Schema.arity schema in
+  List.iter
+    (fun row ->
+       if List.length row <> arity then
+         raise
+           (Dml_error
+              (Printf.sprintf "expected %d values for %s, got %d" arity table
+                 (List.length row)));
+       let tuple =
+         Array.of_list
+           (List.mapi (fun i e -> const_value (Schema.column schema i) e) row)
+       in
+       let rid = Heap_file.tuple_count tbl.Catalog.heap in
+       Heap_file.append tbl.Catalog.heap tuple;
+       (* indexes extend incrementally: rids are stable on insert *)
+       List.iter
+         (fun ix ->
+            match Catalog.column_index tbl ix.Catalog.column with
+            | Some ci when not (Value.is_null tuple.(ci)) ->
+              Mqr_storage.Btree.insert ix.Catalog.btree tuple.(ci) rid
+            | _ -> ())
+         tbl.Catalog.indexes)
+    rows;
+  Catalog.note_updates t.catalog ~table (List.length rows);
+  List.length rows
+
+let delete_rows t ~table ~where =
+  let tbl = Catalog.find_exn t.catalog table in
+  let schema = Schema.qualify (Heap_file.schema tbl.Catalog.heap) table in
+  let keep =
+    match where with
+    | None -> fun _ -> false
+    | Some pred ->
+      let p = Mqr_expr.Expr.compile_pred schema pred in
+      fun tuple -> not (p tuple)
+  in
+  let deleted = Heap_file.retain tbl.Catalog.heap keep in
+  if deleted > 0 then Catalog.rebuild_indexes t.catalog ~table;
+  Catalog.note_updates t.catalog ~table deleted;
+  deleted
+
+let run_query t ?(mode = Dispatcher.Full) ?probe_rows q =
+  Dispatcher.run (config t mode probe_rows) q
+
+let run_sql t ?(mode = Dispatcher.Full) ?probe_rows sql =
+  match t.plan_cache with
+  | None -> run_query t ~mode ?probe_rows (bind_sql t sql)
+  | Some cache ->
+    (* plans are instrumented per mode, so the mode is part of the key *)
+    let key = Dispatcher.mode_to_string mode ^ "|" ^ sql in
+    (match Plan_cache.find cache t.catalog key with
+     | Some entry ->
+       Dispatcher.run
+         ~prepared:(entry.Plan_cache.plan, entry.Plan_cache.collectors)
+         (config t mode probe_rows) entry.Plan_cache.query
+     | None ->
+       let q = bind_sql t sql in
+       let report = Dispatcher.run (config t mode probe_rows) q in
+       Plan_cache.store cache t.catalog key
+         ~plan:report.Dispatcher.initial_plan ~query:q
+         ~collectors:report.Dispatcher.collectors;
+       report)
+
+let coerce_csv_field col s =
+  if s = "" then Value.Null
+  else
+    try
+      match col.Schema.ty with
+      | Value.TInt -> Value.Int (int_of_string (String.trim s))
+      | Value.TFloat -> Value.Float (float_of_string (String.trim s))
+      | Value.TBool -> Value.Bool (bool_of_string (String.trim s))
+      | Value.TDate -> Value.date_of_string (String.trim s)
+      | Value.TString -> Value.String s
+    with Failure _ | Invalid_argument _ ->
+      raise
+        (Dml_error
+           (Printf.sprintf "cannot read %S as %s for column %s" s
+              (Value.ty_to_string col.Schema.ty) col.Schema.name))
+
+let copy_csv t ~table ~file =
+  let tbl = Catalog.find_exn t.catalog table in
+  let schema = Heap_file.schema tbl.Catalog.heap in
+  let arity = Schema.arity schema in
+  let count = ref 0 in
+  List.iter
+    (fun record ->
+       if List.length record <> arity then
+         raise
+           (Dml_error
+              (Printf.sprintf "expected %d fields, got %d" arity
+                 (List.length record)));
+       let tuple =
+         Array.of_list
+           (List.mapi (fun i s -> coerce_csv_field (Schema.column schema i) s)
+              record)
+       in
+       Heap_file.append tbl.Catalog.heap tuple;
+       incr count)
+    (Mqr_storage.Csv.read_file file);
+  Catalog.note_updates t.catalog ~table !count;
+  Catalog.rebuild_indexes t.catalog ~table;
+  !count
+
+let execute t ?mode ?probe_rows sql =
+  match Parser.parse_statement ~udfs:!(t.udfs) sql with
+  | Parser.Select q ->
+    Rows (run_query t ?mode ?probe_rows (Query.bind t.catalog q))
+  | Parser.Insert { table; rows } ->
+    Modified { table; count = insert_rows t ~table rows }
+  | Parser.Delete { table; where } ->
+    Modified { table; count = delete_rows t ~table ~where }
+  | Parser.Create_table { table; columns } ->
+    let schema =
+      Schema.make
+        (List.map (fun (name, ty, width) -> Schema.col ?width name ty) columns)
+    in
+    ignore (Catalog.add_table t.catalog table (Heap_file.create schema));
+    Created table
+  | Parser.Create_index { table; column } ->
+    ignore (Catalog.create_index t.catalog ~table ~column);
+    Created (table ^ "." ^ column)
+  | Parser.Copy { table; file } ->
+    Modified { table; count = copy_csv t ~table ~file }
+  | Parser.Analyze table ->
+    Catalog.analyze_table t.catalog table;
+    Analyzed table
+
+let analyze t ?kind ?buckets ?keys table =
+  Catalog.analyze_table ?kind ?buckets ?keys t.catalog table
+
+let explain t sql =
+  let q = bind_sql t sql in
+  let env = Stats_env.create t.catalog q.Query.relations in
+  let r = Optimizer.optimize ~options:t.opt_options ~model:t.model ~env q in
+  r.Optimizer.plan
+
+let time_ms t ?mode ?probe_rows sql =
+  (run_sql t ?mode ?probe_rows sql).Dispatcher.elapsed_ms
+
+let pp_summary fmt (r : Dispatcher.report) =
+  Fmt.pf fmt "@[<v>%d result rows in %.1f simulated ms@," (Array.length r.Dispatcher.rows)
+    r.Dispatcher.elapsed_ms;
+  Fmt.pf fmt "I/O: %a@," Sim_clock.pp_counters r.Dispatcher.counters;
+  Fmt.pf fmt "collectors inserted: %d, plan switches: %d@,"
+    r.Dispatcher.collectors r.Dispatcher.switches;
+  List.iter
+    (fun ev -> Fmt.pf fmt "  %a@," Dispatcher.pp_event ev)
+    r.Dispatcher.events;
+  Fmt.pf fmt "@]"
+
+let print_summary r = Fmt.pr "%a@." pp_summary r

@@ -1,0 +1,93 @@
+(** Public facade: a database engine with Dynamic Re-Optimization.
+
+    Typical use:
+    {[
+      let catalog = Mqr_catalog.Catalog.create () in
+      (* ... load tables, analyze, create indexes ... *)
+      let engine = Engine.create catalog in
+      let report = Engine.run_sql engine "select ... from ... where ..." in
+      Engine.print_summary report
+    ]} *)
+
+open Mqr_storage
+
+type t
+
+(** [create catalog] builds an engine.  [pool_pages] is the buffer-pool
+    capacity (default 2048), [budget_pages] the memory-manager budget
+    (default 512).  [plan_cache] enables the static-plan store of the
+    paper's Section 2.6: repeated queries skip optimization and collector
+    insertion until their tables drift (see {!Plan_cache}). *)
+val create :
+  ?model:Sim_clock.model ->
+  ?pool_pages:int ->
+  ?budget_pages:int ->
+  ?params:Reopt_policy.params ->
+  ?opt_options:Mqr_opt.Optimizer.options ->
+  ?plan_cache:bool ->
+  Mqr_catalog.Catalog.t -> t
+
+val catalog : t -> Mqr_catalog.Catalog.t
+
+(** (hits, misses, entries) when the plan cache is enabled. *)
+val plan_cache_stats : t -> (int * int * int) option
+val params : t -> Reopt_policy.params
+
+(** Replace the re-optimization parameters (mu, theta1, theta2) — used by
+    the sensitivity experiments. *)
+val with_params : t -> Reopt_policy.params -> t
+
+val with_budget : t -> budget_pages:int -> t
+
+(** Register a user-defined function usable in SQL predicates.  When
+    [selectivity] is omitted the optimizer falls back to its default guess
+    and the inaccuracy-potential rules treat predicates using the function
+    as [High]. *)
+val register_udf :
+  t -> name:string -> ?selectivity:float -> (Value.t list -> Value.t) -> unit
+
+(** Parse, bind, optimize and execute under the given re-optimization mode
+    (default [Full]).  [probe_rows] enables start-time selectivity sampling
+    of uncertain predicates with that many probed rows per relation (the
+    hybrid strategy; see {!Sampling}). *)
+val run_sql :
+  t -> ?mode:Dispatcher.mode -> ?probe_rows:int -> string -> Dispatcher.report
+
+(** Statement-level entry point: SELECT returns a report, INSERT/DELETE
+    return the affected-row count.  Update activity is tracked and makes
+    the table's statistics progressively less trustworthy until
+    {!analyze} is run (the paper's update-activity rule). *)
+type exec_result =
+  | Rows of Dispatcher.report
+  | Modified of { table : string; count : int }
+  | Created of string   (** table or index name *)
+  | Analyzed of string
+
+exception Dml_error of string
+
+val execute :
+  t -> ?mode:Dispatcher.mode -> ?probe_rows:int -> string -> exec_result
+
+(** Recollect a table's statistics (ANALYZE), clearing its update
+    counter. *)
+val analyze :
+  t -> ?kind:Mqr_stats.Histogram.kind -> ?buckets:int -> ?keys:string list ->
+  string -> unit
+
+(** Run an already-bound query block. *)
+val run_query :
+  t -> ?mode:Dispatcher.mode -> ?probe_rows:int -> Mqr_sql.Query.t ->
+  Dispatcher.report
+
+(** Parse and bind without executing. *)
+val bind_sql : t -> string -> Mqr_sql.Query.t
+
+(** Optimize without executing: the annotated plan. *)
+val explain : t -> string -> Mqr_opt.Plan.t
+
+(** Convenience: simulated execution time of a query under a mode. *)
+val time_ms :
+  t -> ?mode:Dispatcher.mode -> ?probe_rows:int -> string -> float
+
+val print_summary : Dispatcher.report -> unit
+val pp_summary : Format.formatter -> Dispatcher.report -> unit

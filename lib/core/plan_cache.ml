@@ -1,0 +1,90 @@
+module Catalog = Mqr_catalog.Catalog
+module Plan = Mqr_opt.Plan
+module Query = Mqr_sql.Query
+
+type entry = {
+  plan : Plan.t;
+  query : Query.t;
+  collectors : int;
+}
+
+type stored = {
+  e : entry;
+  (* update counters of the referenced tables at caching time *)
+  table_versions : (string * int) list;
+}
+
+type t = {
+  capacity : int;
+  table : (string, stored) Hashtbl.t;
+  order : string Queue.t;  (* FIFO eviction *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 64) () =
+  { capacity;
+    table = Hashtbl.create 32;
+    order = Queue.create ();
+    hits = 0;
+    misses = 0 }
+
+(* A plan is stale when a referenced table disappeared, shrank its update
+   counter (ANALYZE ran: statistics changed under the plan), or has seen
+   more than 10% extra update activity since caching. *)
+let still_valid catalog stored =
+  List.for_all
+    (fun (table, cached_updates) ->
+       match Catalog.find catalog table with
+       | None -> false
+       | Some tbl ->
+         let now = tbl.Catalog.updates_since_analyze in
+         if now < cached_updates then false
+         else begin
+           let believed = max 1 tbl.Catalog.believed_rows in
+           float_of_int (now - cached_updates) /. float_of_int believed <= 0.1
+         end)
+    stored.table_versions
+
+let versions catalog (q : Query.t) =
+  List.filter_map
+    (fun (r : Query.relation) ->
+       match Catalog.find catalog r.Query.table with
+       | Some tbl -> Some (r.Query.table, tbl.Catalog.updates_since_analyze)
+       | None -> None)
+    q.Query.relations
+
+let find t catalog sql =
+  match Hashtbl.find_opt t.table sql with
+  | Some stored when still_valid catalog stored ->
+    t.hits <- t.hits + 1;
+    Some stored.e
+  | Some _ ->
+    Hashtbl.remove t.table sql;
+    t.misses <- t.misses + 1;
+    None
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let store t catalog sql ~plan ~query ~collectors =
+  if not (Hashtbl.mem t.table sql) then begin
+    while Hashtbl.length t.table >= t.capacity do
+      match Queue.take_opt t.order with
+      | Some victim -> Hashtbl.remove t.table victim
+      | None -> Hashtbl.reset t.table
+    done;
+    Queue.push sql t.order
+  end;
+  Hashtbl.replace t.table sql
+    { e = { plan; query; collectors }; table_versions = versions catalog query }
+
+let invalidate t sql = Hashtbl.remove t.table sql
+
+let clear t =
+  Hashtbl.reset t.table;
+  Queue.clear t.order
+
+let hits t = t.hits
+let misses t = t.misses
+let size t = Hashtbl.length t.table

@@ -1,0 +1,28 @@
+type params = {
+  mu : float;
+  theta1 : float;
+  theta2 : float;
+  max_switches : int;
+}
+
+let default_params = { mu = 0.05; theta1 = 0.05; theta2 = 0.2; max_switches = 4 }
+
+type decision =
+  | Too_cheap
+  | Close_enough
+  | Consider
+
+let should_consider p ~t_opt_estimated ~t_improved ~t_optimizer =
+  if t_opt_estimated > p.theta1 *. t_improved then Too_cheap
+  else if
+    t_optimizer <= 0.0
+    || (t_improved -. t_optimizer) /. t_optimizer <= p.theta2
+  then Close_enough
+  else Consider
+
+let accept_new_plan ~t_new_total ~t_improved = t_new_total < t_improved
+
+let decision_to_string = function
+  | Too_cheap -> "too-cheap (Eq. 1)"
+  | Close_enough -> "close-enough (Eq. 2)"
+  | Consider -> "consider"

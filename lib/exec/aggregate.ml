@@ -1,0 +1,243 @@
+open Mqr_storage
+module Expr = Mqr_expr.Expr
+
+type agg_fn = Count | Sum | Avg | Min | Max
+
+type spec = {
+  fn : agg_fn;
+  distinct_arg : bool;
+  arg : Expr.t option;
+  out_name : string;
+}
+
+type result = {
+  rows : Tuple.t array;
+  schema : Schema.t;
+  passes : int;
+}
+
+let agg_ty input_schema s =
+  match s.fn, s.arg with
+  | Count, _ -> Value.TInt
+  | Avg, _ -> Value.TFloat
+  | (Sum | Min | Max), Some e -> Expr.type_of input_schema e
+  | (Sum | Min | Max), None ->
+    invalid_arg "Aggregate: sum/min/max need an argument"
+
+let output_schema input_schema ~group_by ~aggs =
+  let group_cols =
+    List.map
+      (fun g -> Schema.column input_schema (Schema.index_of input_schema g))
+      group_by
+  in
+  let agg_cols = List.map (fun s -> Schema.col s.out_name (agg_ty input_schema s)) aggs in
+  Schema.make (group_cols @ agg_cols)
+
+module Key = struct
+  type t = Value.t list
+
+  let equal a b = List.equal Value.equal a b
+  let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 k
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+module Vkey = struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end
+
+module Vtbl = Hashtbl.Make (Vkey)
+
+type acc = {
+  mutable count : int;
+  mutable sum : Value.t;
+  mutable min_v : Value.t;
+  mutable max_v : Value.t;
+  mutable seen : unit Vtbl.t option;  (* distinct-argument tracking *)
+}
+
+let hash_aggregate ctx ~mem_pages input_schema ~group_by ~aggs rows =
+  let clock = ctx.Exec_ctx.clock in
+  let out_schema = output_schema input_schema ~group_by ~aggs in
+  let group_idx = List.map (Schema.index_of input_schema) group_by in
+  let arg_evals =
+    List.map
+      (fun s -> Option.map (fun e -> Expr.compile input_schema e) s.arg)
+      aggs
+  in
+  let table : acc array Ktbl.t = Ktbl.create 256 in
+  let specs = Array.of_list aggs in
+  let fresh_accs () =
+    Array.init (Array.length specs) (fun i ->
+        { count = 0; sum = Value.Null; min_v = Value.Null; max_v = Value.Null;
+          seen =
+            (if specs.(i).distinct_arg then Some (Vtbl.create 16) else None) })
+  in
+  let feed_one a v =
+    let fresh =
+      match a.seen with
+      | None -> true
+      | Some set ->
+        if Vtbl.mem set v then false
+        else begin
+          Vtbl.replace set v ();
+          true
+        end
+    in
+    if fresh then begin
+      a.count <- a.count + 1;
+      a.sum <- Value.add a.sum v;
+      a.min_v <- Value.min_value a.min_v v;
+      a.max_v <- Value.max_value a.max_v v
+    end
+  in
+  Array.iter
+    (fun t ->
+       let key = List.map (fun i -> t.(i)) group_idx in
+       let accs =
+         match Ktbl.find_opt table key with
+         | Some a -> a
+         | None ->
+           let a = fresh_accs () in
+           Ktbl.replace table key a;
+           a
+       in
+       List.iteri
+         (fun i ev ->
+            let a = accs.(i) in
+            match ev with
+            | None -> a.count <- a.count + 1
+            | Some f ->
+              let v = f t in
+              if not (Value.is_null v) then feed_one a v)
+         arg_evals)
+    rows;
+  Sim_clock.charge_hash_tuples clock (Array.length rows);
+  (* A global aggregate (no GROUP BY) over an empty input still yields one
+     row, per SQL semantics. *)
+  if group_by = [] && Ktbl.length table = 0 then
+    Ktbl.replace table [] (fresh_accs ());
+  let finalize key accs =
+    let agg_vals =
+      List.mapi
+        (fun i s ->
+           let a = accs.(i) in
+           match s.fn with
+           | Count -> Value.Int a.count
+           | Sum -> a.sum
+           | Min -> a.min_v
+           | Max -> a.max_v
+           | Avg ->
+             if a.count = 0 then Value.Null
+             else Value.Float (Value.to_float a.sum /. float_of_int a.count))
+        aggs
+    in
+    Array.of_list (key @ agg_vals)
+  in
+  let out = Ktbl.fold (fun key accs acc -> finalize key accs :: acc) table [] in
+  let out = Array.of_list out in
+  Sim_clock.charge_cpu_tuples clock (Array.length out);
+  (* Memory model: if the group table exceeds the grant, aggregation spills
+     and re-reads its input once (2-pass partitioned aggregation). *)
+  let group_bytes = Rows_ops.bytes_of_rows out in
+  let input_pages = Exec_ctx.pages_of_bytes (Rows_ops.bytes_of_rows rows) in
+  let passes =
+    if Exec_ctx.pages_of_bytes group_bytes <= max 1 mem_pages then 1
+    else begin
+      Sim_clock.charge_write clock input_pages;
+      Sim_clock.charge_seq_read clock input_pages;
+      2
+    end
+  in
+  { rows = out; schema = out_schema; passes }
+
+(* Streaming variant: input grouped on the group-by columns.  We reuse the
+   accumulator machinery; groups close when the key changes. *)
+let sorted_aggregate ctx input_schema ~group_by ~aggs rows =
+  let clock = ctx.Exec_ctx.clock in
+  let out_schema = output_schema input_schema ~group_by ~aggs in
+  let group_idx = List.map (Schema.index_of input_schema) group_by in
+  let arg_evals =
+    List.map
+      (fun s -> Option.map (fun e -> Expr.compile input_schema e) s.arg)
+      aggs
+  in
+  let specs = Array.of_list aggs in
+  let fresh_accs () =
+    Array.init (Array.length specs) (fun i ->
+        { count = 0; sum = Value.Null; min_v = Value.Null; max_v = Value.Null;
+          seen =
+            (if specs.(i).distinct_arg then Some (Vtbl.create 16) else None) })
+  in
+  let finalize key accs =
+    let agg_vals =
+      List.mapi
+        (fun i s ->
+           let a = accs.(i) in
+           match s.fn with
+           | Count -> Value.Int a.count
+           | Sum -> a.sum
+           | Min -> a.min_v
+           | Max -> a.max_v
+           | Avg ->
+             if a.count = 0 then Value.Null
+             else Value.Float (Value.to_float a.sum /. float_of_int a.count))
+        aggs
+    in
+    Array.of_list (key @ agg_vals)
+  in
+  let feed accs t =
+    List.iteri
+      (fun i ev ->
+         let a = accs.(i) in
+         match ev with
+         | None -> a.count <- a.count + 1
+         | Some f ->
+           let v = f t in
+           if not (Value.is_null v) then begin
+             let fresh =
+               match a.seen with
+               | None -> true
+               | Some set ->
+                 if Vtbl.mem set v then false
+                 else begin
+                   Vtbl.replace set v ();
+                   true
+                 end
+             in
+             if fresh then begin
+               a.count <- a.count + 1;
+               a.sum <- Value.add a.sum v;
+               a.min_v <- Value.min_value a.min_v v;
+               a.max_v <- Value.max_value a.max_v v
+             end
+           end)
+      arg_evals
+  in
+  let out = ref [] in
+  let current = ref None in
+  Array.iter
+    (fun t ->
+       let key = List.map (fun i -> t.(i)) group_idx in
+       (match !current with
+        | Some (k, accs) when Key.equal k key -> feed accs t
+        | Some (k, accs) ->
+          out := finalize k accs :: !out;
+          let accs' = fresh_accs () in
+          feed accs' t;
+          current := Some (key, accs')
+        | None ->
+          let accs = fresh_accs () in
+          feed accs t;
+          current := Some (key, accs)))
+    rows;
+  (match !current with
+   | Some (k, accs) -> out := finalize k accs :: !out
+   | None -> if group_by = [] then out := [ finalize [] (fresh_accs ()) ]);
+  Sim_clock.charge_cpu_tuples clock (Array.length rows);
+  let out = Array.of_list (List.rev !out) in
+  Sim_clock.charge_cpu_tuples clock (Array.length out);
+  { rows = out; schema = out_schema; passes = 1 }

@@ -1,0 +1,38 @@
+(** Hash aggregation with grouping.
+
+    The executor keeps its own aggregate-function type so it does not
+    depend on the SQL front end; the dispatcher maps the bound query's
+    aggregates onto these specs. *)
+
+open Mqr_storage
+
+type agg_fn = Count | Sum | Avg | Min | Max
+
+type spec = {
+  fn : agg_fn;
+  distinct_arg : bool;
+      (** aggregate over the distinct argument values (COUNT/SUM/AVG
+          DISTINCT); ignored for MIN/MAX where it changes nothing *)
+  arg : Mqr_expr.Expr.t option;  (** [None] only for count-star *)
+  out_name : string;
+}
+
+type result = {
+  rows : Tuple.t array;
+  schema : Schema.t;  (** group columns followed by aggregate outputs *)
+  passes : int;       (** >1 when the group table exceeded its memory *)
+}
+
+(** Output schema without executing (for plan annotation). *)
+val output_schema : Schema.t -> group_by:string list -> aggs:spec list -> Schema.t
+
+val hash_aggregate :
+  Exec_ctx.t -> mem_pages:int -> Schema.t -> group_by:string list ->
+  aggs:spec list -> Tuple.t array -> result
+
+(** Streaming aggregation over input already sorted (grouped) on the
+    group-by columns: one pass, constant memory, never spills.  The caller
+    must guarantee that equal group keys are adjacent. *)
+val sorted_aggregate :
+  Exec_ctx.t -> Schema.t -> group_by:string list -> aggs:spec list ->
+  Tuple.t array -> result

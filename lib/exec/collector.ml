@@ -1,0 +1,153 @@
+open Mqr_storage
+module Histogram = Mqr_stats.Histogram
+module Reservoir = Mqr_stats.Reservoir
+module Distinct = Mqr_stats.Distinct
+module Column_stats = Mqr_catalog.Column_stats
+
+let base_tuple_ms = 0.0003
+let stat_tuple_ms = 0.0012
+let default_sample_size = Heap_file.page_size_bytes / 8
+
+type spec = {
+  hist_cols : string list;
+  distinct_cols : string list;
+  hist_kind : Histogram.kind;
+  hist_buckets : int;
+  sample_size : int;
+}
+
+let spec ?(hist_kind = Histogram.Maxdiff) ?(hist_buckets = 32)
+    ?(sample_size = default_sample_size) ?(hist_cols = [])
+    ?(distinct_cols = []) () =
+  { hist_cols; distinct_cols; hist_kind; hist_buckets; sample_size }
+
+let spec_is_trivial s = s.hist_cols = [] && s.distinct_cols = []
+
+type observed = {
+  rows : int;
+  bytes : int;
+  avg_width : int;
+  col_ranges : (string * (Value.t * Value.t)) list;
+  histograms : (string * Histogram.t) list;
+  distincts : (string * float) list;
+  dicts : (string * (string * float) list) list;
+}
+
+let estimated_cost_ms s ~rows =
+  let stats = List.length s.hist_cols + List.length s.distinct_cols in
+  rows *. (base_tuple_ms +. (float_of_int stats *. stat_tuple_ms))
+
+let collect ctx schema s rows =
+  let clock = ctx.Exec_ctx.clock in
+  let n = Array.length rows in
+  let arity = Schema.arity schema in
+  let qualified i =
+    let c = Schema.column schema i in
+    if c.Schema.qualifier = "" then c.Schema.name
+    else c.Schema.qualifier ^ "." ^ c.Schema.name
+  in
+  (* Always-on running counters. *)
+  let bytes = ref 0 in
+  let mins = Array.make arity Value.Null and maxs = Array.make arity Value.Null in
+  (* Requested statistics. *)
+  let hist_targets =
+    List.map (fun c -> (c, Schema.index_of schema c, Reservoir.create ~capacity:s.sample_size ())) s.hist_cols
+  in
+  let distinct_targets =
+    List.map (fun c -> (c, Schema.index_of schema c, Distinct.create ())) s.distinct_cols
+  in
+  Array.iter
+    (fun t ->
+       bytes := !bytes + Tuple.byte_size t;
+       for i = 0 to arity - 1 do
+         if not (Value.is_null t.(i)) then begin
+           mins.(i) <- Value.min_value mins.(i) t.(i);
+           maxs.(i) <- Value.max_value maxs.(i) t.(i)
+         end
+       done;
+       List.iter
+         (fun (_, i, res) ->
+            if not (Value.is_null t.(i)) then Reservoir.add res t.(i))
+         hist_targets;
+       List.iter
+         (fun (_, i, d) ->
+            if not (Value.is_null t.(i)) then Distinct.add d t.(i))
+         distinct_targets)
+    rows;
+  Sim_clock.charge_cpu_ms clock (estimated_cost_ms s ~rows:(float_of_int n));
+  let dicts = ref [] in
+  let histograms =
+    List.map
+      (fun (c, _, res) ->
+         let sample = Reservoir.sample res in
+         let seen = Reservoir.seen res in
+         let has_string =
+           Array.exists (fun v -> match v with Value.String _ -> true | _ -> false)
+             sample
+         in
+         let to_float =
+           if has_string then begin
+             let module SS = Set.Make (String) in
+             let set =
+               Array.fold_left
+                 (fun acc v ->
+                    match v with Value.String s -> SS.add s acc | _ -> acc)
+                 SS.empty sample
+             in
+             let dict = List.mapi (fun i s -> (s, float_of_int i)) (SS.elements set) in
+             dicts := (c, dict) :: !dicts;
+             fun v ->
+               match v with
+               | Value.String s -> List.assoc s dict
+               | v -> Value.to_float v
+           end
+           else Value.to_float
+         in
+         let data = Array.map to_float sample in
+         let h = Histogram.build s.hist_kind ~buckets:s.hist_buckets data in
+         (c, Histogram.scale h (float_of_int seen)))
+      hist_targets
+  in
+  let distincts =
+    List.map (fun (c, _, d) -> (c, Distinct.estimate d)) distinct_targets
+  in
+  let col_ranges =
+    List.filter_map
+      (fun i ->
+         if Value.is_null mins.(i) then None
+         else Some (qualified i, (mins.(i), maxs.(i))))
+      (List.init arity (fun i -> i))
+  in
+  { rows = n;
+    bytes = !bytes;
+    avg_width = (if n = 0 then 0 else !bytes / n);
+    col_ranges;
+    histograms;
+    distincts;
+    dicts = !dicts }
+
+let column_stats_of_observed obs ~column =
+  let range = List.assoc_opt column obs.col_ranges in
+  let histogram = List.assoc_opt column obs.histograms in
+  let distinct =
+    match List.assoc_opt column obs.distincts with
+    | Some d -> Some d
+    | None -> Option.map Histogram.distinct histogram
+  in
+  { Column_stats.min_v = Option.map fst range;
+    max_v = Option.map snd range;
+    distinct;
+    histogram;
+    stale = false;
+    dict = List.assoc_opt column obs.dicts;
+    is_key = false }
+
+let pp_observed fmt o =
+  Fmt.pf fmt "@[<v>observed: %d rows, %d bytes (avg width %d)" o.rows o.bytes
+    o.avg_width;
+  List.iter
+    (fun (c, h) ->
+       Fmt.pf fmt "@,  histogram %s: %.0f distinct" c (Histogram.distinct h))
+    o.histograms;
+  List.iter (fun (c, d) -> Fmt.pf fmt "@,  distinct %s: %.1f" c d) o.distincts;
+  Fmt.pf fmt "@]"

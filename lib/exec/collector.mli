@@ -1,0 +1,69 @@
+(** The statistics-collector operator (paper Section 2.2 / 3.1).
+
+    A streamed operator that examines the tuples of an intermediate result
+    without modifying, copying or spilling them: cardinality, average tuple
+    size and per-column min/max are maintained as running values; requested
+    histograms are built from a one-page reservoir sample (Vitter [24],
+    applied as in Poosala–Ioannidis [19]); requested distinct counts use
+    probabilistic counting (Flajolet–Martin [6]) with an exact fast path.
+
+    The CPU price per tuple per tracked statistic is exposed so the
+    statistics-collectors insertion algorithm can budget collectors against
+    the [mu] overhead bound. *)
+
+open Mqr_storage
+
+(** Milliseconds charged per tuple for the always-on counters. *)
+val base_tuple_ms : float
+
+(** Milliseconds charged per tuple per histogram or distinct-count
+    statistic. *)
+val stat_tuple_ms : float
+
+(** Reservoir capacity: one 4 KB page of samples, as in the paper. *)
+val default_sample_size : int
+
+type spec = {
+  hist_cols : string list;      (** qualified columns needing histograms *)
+  distinct_cols : string list;  (** columns needing distinct counts *)
+  hist_kind : Mqr_stats.Histogram.kind;
+  hist_buckets : int;
+  sample_size : int;
+}
+
+val spec :
+  ?hist_kind:Mqr_stats.Histogram.kind -> ?hist_buckets:int ->
+  ?sample_size:int -> ?hist_cols:string list -> ?distinct_cols:string list ->
+  unit -> spec
+
+(** Is there anything beyond the free counters to collect? *)
+val spec_is_trivial : spec -> bool
+
+type observed = {
+  rows : int;
+  bytes : int;
+  avg_width : int;
+  col_ranges : (string * (Value.t * Value.t)) list;
+      (** per column: observed (min, max) over non-null values *)
+  histograms : (string * Mqr_stats.Histogram.t) list;
+      (** per requested column, scaled to the full stream *)
+  distincts : (string * float) list;
+  dicts : (string * (string * float) list) list;
+      (** string-valued histogram columns: dictionary from the sample *)
+}
+
+(** Run the collector over a drained intermediate result, charging its CPU
+    cost to the clock. *)
+val collect : Exec_ctx.t -> Schema.t -> spec -> Tuple.t array -> observed
+
+(** Estimated collection cost in milliseconds for [rows] tuples under
+    [spec] — used by the insertion algorithm's budget. *)
+val estimated_cost_ms : spec -> rows:float -> float
+
+(** Turn an observation into catalog statistics for one column (used when
+    a re-optimized remainder sees the materialized intermediate as a base
+    table). *)
+val column_stats_of_observed :
+  observed -> column:string -> Mqr_catalog.Column_stats.t
+
+val pp_observed : Format.formatter -> observed -> unit

@@ -1,0 +1,146 @@
+open Mqr_storage
+
+let hash_join_fudge = 1.2
+
+(* Each pass of Grace partitioning divides the build side by up to
+   (mem_pages - 1) output partitions (at least 2); one more pass is needed
+   until a partition fits. *)
+let hash_join_passes ~mem_pages ~build_pages =
+  let mem = max 2 mem_pages in
+  let fan_out = max 2 (mem - 1) in
+  let need = int_of_float (ceil (hash_join_fudge *. float_of_int build_pages)) in
+  let rec go passes part_pages =
+    if part_pages <= mem then passes
+    else go (passes + 1) ((part_pages + fan_out - 1) / fan_out)
+  in
+  go 1 need
+
+type result = {
+  rows : Tuple.t array;
+  schema : Schema.t;
+  passes : int;
+}
+
+module Key = struct
+  type t = Value.t list
+
+  let equal a b = List.equal Value.equal a b
+  let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 k
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+let hash_join ctx ~mem_pages ~build:(build_rows, build_schema)
+    ~probe:(probe_rows, probe_schema) ~keys ?extra () =
+  let clock = ctx.Exec_ctx.clock in
+  let out_schema = Schema.concat probe_schema build_schema in
+  let probe_idx = List.map (fun (p, _) -> Schema.index_of probe_schema p) keys in
+  let build_idx = List.map (fun (_, b) -> Schema.index_of build_schema b) keys in
+  let build_bytes = Rows_ops.bytes_of_rows build_rows in
+  let probe_bytes = Rows_ops.bytes_of_rows probe_rows in
+  let build_pages = Exec_ctx.pages_of_bytes build_bytes in
+  let probe_pages = Exec_ctx.pages_of_bytes probe_bytes in
+  let passes = hash_join_passes ~mem_pages ~build_pages in
+  (* Extra passes write and re-read both inputs once per partitioning
+     level, plus the repartitioning CPU. *)
+  for _ = 2 to passes do
+    Sim_clock.charge_write clock (build_pages + probe_pages);
+    Sim_clock.charge_seq_read clock (build_pages + probe_pages);
+    Sim_clock.charge_hash_tuples clock
+      (Array.length build_rows + Array.length probe_rows)
+  done;
+  (* The in-memory join itself (final pass). *)
+  let table = Ktbl.create (max 16 (Array.length build_rows)) in
+  Array.iter
+    (fun t ->
+       let k = List.map (fun i -> t.(i)) build_idx in
+       if not (List.exists Value.is_null k) then
+         Ktbl.add table k t)
+    build_rows;
+  Sim_clock.charge_hash_tuples clock (Array.length build_rows);
+  let residual =
+    Option.map (fun e -> Mqr_expr.Expr.compile_pred out_schema e) extra
+  in
+  let out = ref [] in
+  let n_out = ref 0 in
+  Array.iter
+    (fun pt ->
+       let k = List.map (fun i -> pt.(i)) probe_idx in
+       if not (List.exists Value.is_null k) then
+         List.iter
+           (fun bt ->
+              let joined = Tuple.concat pt bt in
+              match residual with
+              | Some p when not (p joined) -> ()
+              | _ ->
+                out := joined :: !out;
+                incr n_out)
+           (Ktbl.find_all table k))
+    probe_rows;
+  Sim_clock.charge_hash_tuples clock (Array.length probe_rows);
+  Sim_clock.charge_cpu_tuples clock !n_out;
+  { rows = Array.of_list (List.rev !out); schema = out_schema; passes }
+
+let index_nl_join ctx ~outer:(outer_rows, outer_schema) ~inner_heap
+    ~inner_schema ~inner_index ~outer_col ?extra () =
+  let out_schema = Schema.concat outer_schema inner_schema in
+  let oi = Schema.index_of outer_schema outer_col in
+  let residual =
+    Option.map (fun e -> Mqr_expr.Expr.compile_pred out_schema e) extra
+  in
+  let out = ref [] in
+  let n_out = ref 0 in
+  Array.iter
+    (fun ot ->
+       let key = ot.(oi) in
+       if not (Value.is_null key) then begin
+         let rids =
+           Btree.probe inner_index ~pool:ctx.Exec_ctx.pool
+             ~clock:ctx.Exec_ctx.clock ~lo:key ~hi:key ()
+         in
+         List.iter
+           (fun rid ->
+              let it =
+                Heap_file.fetch inner_heap ~pool:ctx.Exec_ctx.pool
+                  ~clock:ctx.Exec_ctx.clock rid
+              in
+              let joined = Tuple.concat ot it in
+              match residual with
+              | Some p when not (p joined) -> ()
+              | _ ->
+                out := joined :: !out;
+                incr n_out)
+           rids
+       end)
+    outer_rows;
+  Sim_clock.charge_cpu_tuples ctx.Exec_ctx.clock (Array.length outer_rows + !n_out);
+  { rows = Array.of_list (List.rev !out); schema = out_schema; passes = 1 }
+
+let block_nl_join ctx ~mem_pages ~outer:(outer_rows, outer_schema)
+    ~inner:(inner_rows, inner_schema) ?pred () =
+  let clock = ctx.Exec_ctx.clock in
+  let out_schema = Schema.concat outer_schema inner_schema in
+  let residual =
+    Option.map (fun e -> Mqr_expr.Expr.compile_pred out_schema e) pred
+  in
+  let outer_pages = Exec_ctx.pages_of_bytes (Rows_ops.bytes_of_rows outer_rows) in
+  let inner_pages = Exec_ctx.pages_of_bytes (Rows_ops.bytes_of_rows inner_rows) in
+  (* One inner re-read per outer memory-block beyond the first. *)
+  let blocks = max 1 ((outer_pages + mem_pages - 1) / max 1 mem_pages) in
+  for _ = 2 to blocks do
+    Sim_clock.charge_seq_read clock inner_pages
+  done;
+  Sim_clock.charge_cpu_tuples clock
+    (Array.length outer_rows * max 1 (Array.length inner_rows));
+  let out = ref [] in
+  Array.iter
+    (fun ot ->
+       Array.iter
+         (fun it ->
+            let joined = Tuple.concat ot it in
+            match residual with
+            | Some p when not (p joined) -> ()
+            | _ -> out := joined :: !out)
+         inner_rows)
+    outer_rows;
+  { rows = Array.of_list (List.rev !out); schema = out_schema; passes = blocks }

@@ -1,0 +1,123 @@
+open Mqr_storage
+
+type t = {
+  degree : int;
+  net_ms_per_page : float;
+}
+
+let sequential = { degree = 1; net_ms_per_page = 0.0 }
+
+let make ?(net_ms_per_page = 0.4) ~degree () =
+  if degree < 1 then invalid_arg "Parallel.make: degree < 1";
+  { degree; net_ms_per_page }
+
+let run ctx t f =
+  if t.degree = 1 then [ f 0 ctx ]
+  else begin
+    let model = Sim_clock.model ctx.Exec_ctx.clock in
+    let pool_slice =
+      max 8 (Buffer_pool.capacity ctx.Exec_ctx.pool / t.degree)
+    in
+    let slowest = ref 0.0 in
+    let results =
+      List.init t.degree (fun w ->
+          let wctx = Exec_ctx.create ~model ~pool_pages:pool_slice () in
+          let r = f w wctx in
+          let elapsed = Sim_clock.elapsed_ms wctx.Exec_ctx.clock in
+          if elapsed > !slowest then slowest := elapsed;
+          r)
+    in
+    Sim_clock.charge_cpu_ms ctx.Exec_ctx.clock !slowest;
+    results
+  end
+
+let charge_exchange ctx t rows =
+  if t.degree > 1 then begin
+    let pages = Exec_ctx.pages_of_bytes (Rows_ops.bytes_of_rows rows) in
+    Sim_clock.charge_cpu_ms ctx.Exec_ctx.clock
+      (float_of_int pages *. t.net_ms_per_page)
+  end
+
+let partition_by ctx t schema ~column rows =
+  let i = Schema.index_of schema column in
+  let parts = Array.make t.degree [] in
+  Array.iter
+    (fun tuple ->
+       let w =
+         if Value.is_null tuple.(i) then 0
+         else (Value.hash tuple.(i) land max_int) mod t.degree
+       in
+       parts.(w) <- tuple :: parts.(w))
+    rows;
+  charge_exchange ctx t rows;
+  Array.map (fun l -> Array.of_list (List.rev l)) parts
+
+let partition_round_robin t rows =
+  let parts = Array.make t.degree [] in
+  Array.iteri (fun i tuple -> parts.(i mod t.degree) <- tuple :: parts.(i mod t.degree)) rows;
+  Array.map (fun l -> Array.of_list (List.rev l)) parts
+
+(* Striped scan: worker [w] reads rids w, w+degree, ... — each from its own
+   disk, so pages divide across workers. *)
+let scan ctx t heap =
+  if t.degree = 1 then Scan.seq_scan ctx heap
+  else begin
+    let n = Heap_file.tuple_count heap in
+    let chunks =
+      run ctx t (fun w wctx ->
+          let lo = w * n / t.degree and hi = (w + 1) * n / t.degree in
+          let out = Array.make (max 0 (hi - lo)) [||] in
+          Heap_file.scan_range heap ~pool:wctx.Exec_ctx.pool
+            ~clock:wctx.Exec_ctx.clock ~from_rid:lo ~to_rid:hi
+            (fun rid tuple -> out.(rid - lo) <- tuple);
+          out)
+    in
+    Array.concat chunks
+  end
+
+let hash_join ctx t ~mem_pages ~build:(build_rows, build_schema)
+    ~probe:(probe_rows, probe_schema) ~keys ?extra () =
+  match keys, t.degree with
+  | [], _ | _, 1 ->
+    let r =
+      Join.hash_join ctx ~mem_pages ~build:(build_rows, build_schema)
+        ~probe:(probe_rows, probe_schema) ~keys ?extra ()
+    in
+    (r.Join.rows, r.Join.schema)
+  | (probe_col, build_col) :: _, _ ->
+    let build_parts = partition_by ctx t build_schema ~column:build_col build_rows in
+    let probe_parts = partition_by ctx t probe_schema ~column:probe_col probe_rows in
+    let per_worker_mem = max 2 (mem_pages / t.degree) in
+    let chunks =
+      run ctx t (fun w wctx ->
+          let r =
+            Join.hash_join wctx ~mem_pages:per_worker_mem
+              ~build:(build_parts.(w), build_schema)
+              ~probe:(probe_parts.(w), probe_schema)
+              ~keys ?extra ()
+          in
+          r.Join.rows)
+    in
+    let schema = Schema.concat probe_schema build_schema in
+    (Array.concat chunks, schema)
+
+let aggregate ctx t ~mem_pages schema ~group_by ~aggs rows =
+  match group_by, t.degree with
+  | [], _ | _, 1 ->
+    let r = Aggregate.hash_aggregate ctx ~mem_pages schema ~group_by ~aggs rows in
+    (r.Aggregate.rows, r.Aggregate.schema)
+  | first :: _, _ ->
+    (* same first grouping column -> same worker, so every group is
+       computed wholly on one worker *)
+    let parts = partition_by ctx t schema ~column:first rows in
+    let per_worker_mem = max 1 (mem_pages / t.degree) in
+    let chunks =
+      run ctx t (fun w wctx ->
+          let r =
+            Aggregate.hash_aggregate wctx ~mem_pages:per_worker_mem schema
+              ~group_by ~aggs parts.(w)
+          in
+          r.Aggregate.rows)
+    in
+    let out_schema = Aggregate.output_schema schema ~group_by ~aggs in
+    (Array.concat chunks, out_schema)

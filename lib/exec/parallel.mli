@@ -1,0 +1,61 @@
+(** Partitioned (shared-nothing) parallel execution, Paradise-style.
+
+    The paper's testbed was a 4-node parallel DBMS.  This module simulates
+    that substrate: work is hash- or round-robin-partitioned across
+    [degree] workers, each worker runs the ordinary serial operator against
+    its own clock and its own slice of the buffer pool, and the parent
+    clock is charged with the *maximum* worker time (workers proceed in
+    parallel) plus the network cost of any repartitioning exchange.
+
+    Results are identical to serial execution; only the simulated time
+    changes.  Skew matters exactly as on a real cluster: a heavy hash
+    partition dominates the max. *)
+
+open Mqr_storage
+
+type t = {
+  degree : int;
+  net_ms_per_page : float;  (** shipping one page through the interconnect *)
+}
+
+val sequential : t
+
+(** 4-node Paradise-like configuration. *)
+val make : ?net_ms_per_page:float -> degree:int -> unit -> t
+
+(** [run ctx t f] executes [f worker_index worker_ctx] for every worker,
+    each against a fresh clock and a buffer-pool slice, then charges
+    [ctx]'s clock with the slowest worker's elapsed time.  Returns the
+    per-worker results in index order. *)
+val run : Exec_ctx.t -> t -> (int -> Exec_ctx.t -> 'a) -> 'a list
+
+(** Hash-partition rows on a column; charges the exchange (all pages cross
+    the interconnect under hash repartitioning). *)
+val partition_by :
+  Exec_ctx.t -> t -> Schema.t -> column:string -> Tuple.t array ->
+  Tuple.t array array
+
+(** Round-robin partitioning (no key): used for striped scans; charges no
+    exchange, as each worker reads its own slice. *)
+val partition_round_robin : t -> Tuple.t array -> Tuple.t array array
+
+(** Parallel operators built from the serial ones.  All return exactly the
+    serial results. *)
+
+val scan :
+  Exec_ctx.t -> t -> Heap_file.t -> Tuple.t array
+
+(** Co-partitioned hash join: both inputs are hash-exchanged on the join
+    key, each worker joins its partition pair with [mem_pages / degree]
+    pages. *)
+val hash_join :
+  Exec_ctx.t -> t -> mem_pages:int ->
+  build:Tuple.t array * Schema.t -> probe:Tuple.t array * Schema.t ->
+  keys:(string * string) list -> ?extra:Mqr_expr.Expr.t -> unit ->
+  Tuple.t array * Schema.t
+
+(** Partitioned aggregation: input exchanged on the first grouping column
+    (or round-robin + final merge when there is none). *)
+val aggregate :
+  Exec_ctx.t -> t -> mem_pages:int -> Schema.t -> group_by:string list ->
+  aggs:Aggregate.spec list -> Tuple.t array -> Tuple.t array * Schema.t

@@ -1,0 +1,18 @@
+(** Streamed row operators: filter, project, limit.
+
+    These run inside a pipeline, so they charge only CPU. *)
+
+open Mqr_storage
+
+val filter : Exec_ctx.t -> Schema.t -> Mqr_expr.Expr.t -> Tuple.t array -> Tuple.t array
+
+(** [project ctx schema cols rows] keeps the named columns, in order.
+    Returns the projected rows and their schema. *)
+val project :
+  Exec_ctx.t -> Schema.t -> string list -> Tuple.t array ->
+  Tuple.t array * Schema.t
+
+val limit : Exec_ctx.t -> int -> Tuple.t array -> Tuple.t array
+
+(** Total byte footprint of a row set. *)
+val bytes_of_rows : Tuple.t array -> int

@@ -1,0 +1,22 @@
+open Mqr_storage
+
+let seq_scan ctx heap =
+  let out = Array.make (Heap_file.tuple_count heap) [||] in
+  Heap_file.scan heap ~pool:ctx.Exec_ctx.pool ~clock:ctx.Exec_ctx.clock
+    (fun rid tuple -> out.(rid) <- tuple);
+  out
+
+(* Open bounds are widened by excluding equal keys post hoc: the B+-tree
+   probe takes inclusive bounds, so strict bounds filter the boundary rids
+   afterwards via a key recheck. *)
+let index_scan ctx heap btree ?lo ?hi () =
+  let incl_lo = Option.map fst lo and incl_hi = Option.map fst hi in
+  let rids =
+    Btree.probe btree ~pool:ctx.Exec_ctx.pool ~clock:ctx.Exec_ctx.clock
+      ?lo:incl_lo ?hi:incl_hi ()
+  in
+  let fetch rid =
+    Heap_file.fetch heap ~pool:ctx.Exec_ctx.pool ~clock:ctx.Exec_ctx.clock rid
+  in
+  let rows = List.map fetch rids in
+  Array.of_list rows

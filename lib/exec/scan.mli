@@ -1,0 +1,14 @@
+(** Table access operators. *)
+
+open Mqr_storage
+
+(** Full scan: charges a sequential read per page (buffer-pool misses) and
+    CPU per tuple.  Returns the rows in heap order. *)
+val seq_scan : Exec_ctx.t -> Heap_file.t -> Tuple.t array
+
+(** Index range scan: probes the B+-tree for rids in the (inclusive when
+    flagged) interval, then fetches each matching tuple through the buffer
+    pool (random reads on misses — an unclustered index). *)
+val index_scan :
+  Exec_ctx.t -> Heap_file.t -> Btree.t ->
+  ?lo:Value.t * bool -> ?hi:Value.t * bool -> unit -> Tuple.t array

@@ -1,0 +1,44 @@
+open Mqr_storage
+
+let sort_passes ~mem_pages ~data_pages =
+  let mem = max 2 mem_pages in
+  if data_pages <= mem then 1
+  else begin
+    let runs = (data_pages + mem - 1) / mem in
+    let fan_in = max 2 (mem - 1) in
+    let rec merge_levels levels runs =
+      if runs <= 1 then levels
+      else merge_levels (levels + 1) ((runs + fan_in - 1) / fan_in)
+    in
+    1 + merge_levels 0 runs
+  end
+
+type result = {
+  rows : Tuple.t array;
+  passes : int;
+}
+
+let sort ctx ~mem_pages schema ~keys rows =
+  let clock = ctx.Exec_ctx.clock in
+  let idxs = List.map (fun (c, asc) -> (Schema.index_of schema c, asc)) keys in
+  let cmp a b =
+    let rec go = function
+      | [] -> 0
+      | (i, asc) :: rest ->
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then if asc then c else -c else go rest
+    in
+    go idxs
+  in
+  let out = Array.copy rows in
+  Array.sort cmp out;
+  let n = Array.length rows in
+  let log2n = if n <= 1 then 1 else int_of_float (ceil (log (float_of_int n) /. log 2.0)) in
+  Sim_clock.charge_sort_tuples clock (n * log2n);
+  let data_pages = Exec_ctx.pages_of_bytes (Rows_ops.bytes_of_rows rows) in
+  let passes = sort_passes ~mem_pages ~data_pages in
+  for _ = 2 to passes do
+    Sim_clock.charge_write clock data_pages;
+    Sim_clock.charge_seq_read clock data_pages
+  done;
+  { rows = out; passes }

@@ -1,0 +1,19 @@
+(** External merge sort (cost model) over in-memory rows. *)
+
+open Mqr_storage
+
+(** Total passes over the data: 1 for the run formation (in-memory when the
+    input fits) plus merge passes with fan-in [mem_pages - 1]. *)
+val sort_passes : mem_pages:int -> data_pages:int -> int
+
+type result = {
+  rows : Tuple.t array;
+  passes : int;
+}
+
+(** [sort ctx ~mem_pages schema ~keys rows] sorts by the named columns
+    ([true] = ascending), charging comparison CPU plus a write+read of the
+    whole input per merge pass. *)
+val sort :
+  Exec_ctx.t -> mem_pages:int -> Schema.t -> keys:(string * bool) list ->
+  Tuple.t array -> result

@@ -1,0 +1,38 @@
+(** Selectivity estimation for predicates.
+
+    Estimates are computed against whatever statistics are available
+    through [stats_of] (the optimizer passes catalog statistics for base
+    tables and *observed* statistics once collectors have reported).
+    When no statistics help, the classic System-R magic numbers apply. *)
+
+(** Defaults used when statistics are missing: equality 1/10, range 1/3,
+    user-defined predicate 1/10, anything else 1/4. *)
+val default_eq : float
+val default_range : float
+val default_udf : float
+val default_other : float
+
+type env = {
+  stats_of : string -> Mqr_catalog.Column_stats.t option;
+  (** statistics for a (qualified or bare) column name, if known *)
+}
+
+(** [selectivity env pred] estimates the fraction of input rows (or of the
+    cross product, for join predicates) satisfying [pred].  Conjunctions
+    multiply (attribute-value independence); disjunctions use
+    inclusion–exclusion. *)
+val selectivity : env -> Expr.t -> float
+
+(** Estimated number of distinct values of a column, if statistics allow. *)
+val distinct_of_column : env -> string -> float option
+
+(** Estimated distinct values of a column *after* applying [pred] — used
+    for group-count estimation.  Falls back to scaling the distinct count
+    by the predicate's selectivity with a floor of 1. *)
+val distinct_after : env -> Expr.t -> string -> float option
+
+(** Join selectivity between two named columns given both sides' stats. *)
+val equijoin_selectivity :
+  env -> left:string -> right:string -> float
+
+val pp_env_missing : Format.formatter -> string -> unit

@@ -1,0 +1,65 @@
+(** Operator cost formulas, shared between the optimizer (estimation) and
+    the re-optimizer (re-costing a running plan with improved estimates).
+    Rates come from the same {!Mqr_storage.Sim_clock.model} the executor
+    charges against: estimation error is cardinality error, not rate
+    error. *)
+
+open Mqr_storage
+
+val page_bytes : float
+
+(** Pages occupied by [rows] tuples of [width] bytes. *)
+val pages : rows:float -> width:float -> float
+
+val seq_scan_ms : Sim_clock.model -> pages:float -> rows:float -> float
+
+(** Unclustered index scan fetching [match_rows] of a table with
+    [table_pages] pages: B+-tree descent, leaf walk, then a random read
+    per fetched row capped by the table size. *)
+val index_scan_ms :
+  Sim_clock.model -> match_rows:float -> table_pages:float -> float
+
+val hash_join_ms :
+  Sim_clock.model -> build_rows:float -> build_pages:float ->
+  probe_rows:float -> probe_pages:float -> out_rows:float -> mem_pages:int ->
+  float
+
+val index_nl_join_ms :
+  Sim_clock.model -> outer_rows:float -> out_rows:float -> float
+
+val block_nl_join_ms :
+  Sim_clock.model -> outer_rows:float -> outer_pages:float ->
+  inner_rows:float -> inner_pages:float -> out_rows:float -> mem_pages:int ->
+  float
+
+val aggregate_ms :
+  Sim_clock.model -> in_rows:float -> in_pages:float -> groups:float ->
+  group_pages:float -> mem_pages:int -> float
+
+val sort_ms :
+  Sim_clock.model -> rows:float -> data_pages:float -> mem_pages:int -> float
+
+(** Sort-merge join: sort both sides (half the grant each, skipped for a
+    pre-sorted side) + merge. *)
+val merge_join_ms :
+  Sim_clock.model -> left_rows:float -> left_pages:float ->
+  right_rows:float -> right_pages:float -> out_rows:float -> mem_pages:int ->
+  left_sorted:bool -> right_sorted:bool -> float
+
+(** Streaming aggregation over pre-grouped input: one CPU pass. *)
+val aggregate_sorted_ms :
+  Sim_clock.model -> in_rows:float -> groups:float -> float
+
+val project_ms : Sim_clock.model -> rows:float -> float
+val limit_ms : Sim_clock.model -> rows:float -> float
+
+(** Materializing an intermediate to a temp table and reading it back —
+    the re-optimization overhead [T_materialize] of Section 2.4. *)
+val materialize_ms : Sim_clock.model -> pages:float -> float
+
+(** Memory demands in pages: [(minimum, maximum)]. *)
+val hash_join_mem : build_pages:float -> int * int
+val sort_mem : data_pages:float -> int * int
+val aggregate_mem : group_pages:float -> int * int
+val block_nl_join_mem : outer_pages:float -> int * int
+val merge_join_mem : left_pages:float -> right_pages:float -> int * int

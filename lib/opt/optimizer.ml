@@ -1,0 +1,811 @@
+open Mqr_storage
+module Expr = Mqr_expr.Expr
+module Selectivity = Mqr_expr.Selectivity
+module Query = Mqr_sql.Query
+module Aggregate = Mqr_exec.Aggregate
+module Collector = Mqr_exec.Collector
+
+type options = {
+  enable_index_join : bool;
+  enable_merge_join : bool;
+  enable_bushy : bool;
+  planning_mem_pages : int;
+}
+
+let default_options =
+  { enable_index_join = true;
+    enable_merge_join = true;
+    enable_bushy = true;
+    planning_mem_pages = 128 }
+
+type result = {
+  plan : Plan.t;
+  plans_enumerated : int;
+}
+
+exception Planning_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Shared context for one optimization run.                            *)
+
+type ctx = {
+  model : Sim_clock.model;
+  env : Stats_env.t;
+  sel_env : Selectivity.env;
+  planning_mem : int;
+  mutable next_id : int;
+  mutable enumerated : int;
+}
+
+let make_ctx ?(planning_mem = default_options.planning_mem_pages) ~model ~env () =
+  { model;
+    env;
+    sel_env = Stats_env.selectivity_env env;
+    planning_mem;
+    next_id = 0;
+    enumerated = 0 }
+
+(* Memory assumed when costing: the grant when one exists, otherwise the
+   planning assumption capped by the operator's own maximum. *)
+let effective_mem ctx ~mem ~max_mem =
+  if mem > 0 then mem else min max_mem (max 2 ctx.planning_mem)
+
+let fresh_id ctx =
+  let id = ctx.next_id in
+  ctx.next_id <- id + 1;
+  id
+
+let sel ctx e = Selectivity.selectivity ctx.sel_env e
+
+let sel_opt ctx = function None -> 1.0 | Some e -> sel ctx e
+
+let width_of schema = float_of_int (Schema.avg_tuple_width schema)
+
+(* ------------------------------------------------------------------ *)
+(* Node constructors: estimation + costing in one place so [recost]    *)
+(* and the DP share the exact same formulas.                           *)
+
+let mk_node ctx node schema ~rows ~op_ms ~children ~min_mem ~max_mem ~mem =
+  let rows = Float.max 0.05 rows in
+  let total_ms =
+    List.fold_left (fun acc (c : Plan.t) -> acc +. c.Plan.est.Plan.total_ms)
+      op_ms children
+  in
+  { Plan.id = fresh_id ctx;
+    node;
+    schema;
+    est = { Plan.rows; width = width_of schema; op_ms; total_ms };
+    min_mem;
+    max_mem;
+    mem }
+
+let scan_out_rows ctx ~alias ~filter =
+  let r = Stats_env.rel ctx.env ~alias in
+  match filter, Stats_env.local_selectivity ctx.env ~alias with
+  | Some _, Some sel -> r.Stats_env.rows *. sel
+  | _ -> r.Stats_env.rows *. sel_opt ctx filter
+
+let mk_seq_scan ctx ~table ~alias ~filter ~schema =
+  let r = Stats_env.rel ctx.env ~alias in
+  let rows = scan_out_rows ctx ~alias ~filter in
+  let op_ms =
+    Cost_model.seq_scan_ms ctx.model ~pages:r.Stats_env.pages
+      ~rows:r.Stats_env.rows
+    +. (match filter with
+        | None -> 0.0
+        | Some _ -> r.Stats_env.rows *. ctx.model.Sim_clock.cpu_tuple_ms)
+  in
+  mk_node ctx (Plan.Seq_scan { table; alias; filter }) schema ~rows ~op_ms
+    ~children:[] ~min_mem:0 ~max_mem:0 ~mem:0
+
+let mk_index_scan ctx ~table ~alias ~index_col ~lo ~hi ~filter ~schema
+    ~index_sel =
+  let r = Stats_env.rel ctx.env ~alias in
+  let rows = scan_out_rows ctx ~alias ~filter in
+  let match_rows = Float.max 1.0 (r.Stats_env.rows *. index_sel) in
+  let op_ms =
+    Cost_model.index_scan_ms ctx.model ~match_rows
+      ~table_pages:r.Stats_env.pages
+    +. (match filter with
+        | None -> 0.0
+        | Some _ -> match_rows *. ctx.model.Sim_clock.cpu_tuple_ms)
+  in
+  mk_node ctx (Plan.Index_scan { table; alias; index_col; lo; hi; filter })
+    schema ~rows ~op_ms ~children:[] ~min_mem:0 ~max_mem:0 ~mem:0
+
+let join_sel ctx ~keys ~extra =
+  let key_sel =
+    List.fold_left
+      (fun acc (p, b) ->
+         acc *. Selectivity.equijoin_selectivity ctx.sel_env ~left:p ~right:b)
+      1.0 keys
+  in
+  key_sel *. sel_opt ctx extra
+
+let mk_hash_join ctx ~build ~probe ~keys ~extra ~mem =
+  let schema = Schema.concat probe.Plan.schema build.Plan.schema in
+  let b = build.Plan.est and p = probe.Plan.est in
+  let rows = b.Plan.rows *. p.Plan.rows *. join_sel ctx ~keys ~extra in
+  let build_pages = Cost_model.pages ~rows:b.Plan.rows ~width:b.Plan.width in
+  let probe_pages = Cost_model.pages ~rows:p.Plan.rows ~width:p.Plan.width in
+  let min_mem, max_mem = Cost_model.hash_join_mem ~build_pages in
+  let mem = effective_mem ctx ~mem ~max_mem in
+  let op_ms =
+    Cost_model.hash_join_ms ctx.model ~build_rows:b.Plan.rows ~build_pages
+      ~probe_rows:p.Plan.rows ~probe_pages ~out_rows:rows ~mem_pages:mem
+  in
+  mk_node ctx (Plan.Hash_join { build; probe; keys; extra }) schema ~rows
+    ~op_ms ~children:[ build; probe ] ~min_mem ~max_mem ~mem
+
+let mk_index_nl_join ctx ~outer ~table ~alias ~outer_col ~inner_col
+    ~inner_filter ~extra ~inner_schema =
+  let r = Stats_env.rel ctx.env ~alias in
+  let schema = Schema.concat outer.Plan.schema inner_schema in
+  let o = outer.Plan.est in
+  let jsel =
+    Selectivity.equijoin_selectivity ctx.sel_env ~left:outer_col
+      ~right:inner_col
+  in
+  let fetched = o.Plan.rows *. r.Stats_env.rows *. jsel in
+  let rows = fetched *. sel_opt ctx inner_filter *. sel_opt ctx extra in
+  let op_ms =
+    Cost_model.index_nl_join_ms ctx.model ~outer_rows:o.Plan.rows
+      ~out_rows:(Float.max 1.0 fetched)
+    +. (match inner_filter with
+        | None -> 0.0
+        | Some _ -> fetched *. ctx.model.Sim_clock.cpu_tuple_ms)
+  in
+  mk_node ctx
+    (Plan.Index_nl_join
+       { outer; table; alias; outer_col; inner_col; inner_filter; extra })
+    schema ~rows ~op_ms ~children:[ outer ] ~min_mem:0 ~max_mem:0 ~mem:0
+
+let mk_block_nl_join ctx ~outer ~inner ~pred ~mem =
+  let schema = Schema.concat outer.Plan.schema inner.Plan.schema in
+  let o = outer.Plan.est and i = inner.Plan.est in
+  let rows = o.Plan.rows *. i.Plan.rows *. sel_opt ctx pred in
+  let outer_pages = Cost_model.pages ~rows:o.Plan.rows ~width:o.Plan.width in
+  let inner_pages = Cost_model.pages ~rows:i.Plan.rows ~width:i.Plan.width in
+  let min_mem, max_mem = Cost_model.block_nl_join_mem ~outer_pages in
+  let mem = effective_mem ctx ~mem ~max_mem in
+  let op_ms =
+    Cost_model.block_nl_join_ms ctx.model ~outer_rows:o.Plan.rows ~outer_pages
+      ~inner_rows:i.Plan.rows ~inner_pages ~out_rows:rows ~mem_pages:mem
+  in
+  mk_node ctx (Plan.Block_nl_join { outer; inner; pred }) schema ~rows ~op_ms
+    ~children:[ outer; inner ] ~min_mem ~max_mem ~mem
+
+(* A side counts as pre-sorted only when the join has a single key pair and
+   the side delivers that key in ascending order; an input ordered by the
+   leading column alone is NOT sorted for a multi-key merge. *)
+let side_sorted plan key = List.mem key (Plan.orders_of plan)
+
+let mk_merge_join ctx ~left ~right ~keys ~extra ~mem =
+  let schema = Schema.concat left.Plan.schema right.Plan.schema in
+  let le = left.Plan.est and re = right.Plan.est in
+  let rows = le.Plan.rows *. re.Plan.rows *. join_sel ctx ~keys ~extra in
+  let left_sorted =
+    match keys with [ (l, _) ] -> side_sorted left l | _ -> false
+  in
+  let right_sorted =
+    match keys with [ (_, r) ] -> side_sorted right r | _ -> false
+  in
+  let left_pages = Cost_model.pages ~rows:le.Plan.rows ~width:le.Plan.width in
+  let right_pages = Cost_model.pages ~rows:re.Plan.rows ~width:re.Plan.width in
+  let min_mem, max_mem = Cost_model.merge_join_mem ~left_pages ~right_pages in
+  let mem = effective_mem ctx ~mem ~max_mem in
+  let op_ms =
+    Cost_model.merge_join_ms ctx.model ~left_rows:le.Plan.rows ~left_pages
+      ~right_rows:re.Plan.rows ~right_pages ~out_rows:rows ~mem_pages:mem
+      ~left_sorted ~right_sorted
+  in
+  mk_node ctx
+    (Plan.Merge_join { left; right; keys; extra; left_sorted; right_sorted })
+    schema ~rows ~op_ms ~children:[ left; right ] ~min_mem ~max_mem ~mem
+
+let group_count ctx ~input_rows ~group_by =
+  match group_by with
+  | [] -> 1.0
+  | cols ->
+    let product =
+      List.fold_left
+        (fun acc c ->
+           match Selectivity.distinct_of_column ctx.sel_env c with
+           | Some d -> acc *. Float.max 1.0 d
+           | None -> acc *. 100.0)
+        1.0 cols
+    in
+    Float.max 1.0 (Float.min input_rows product)
+
+let mk_aggregate ctx ~input ~group_by ~aggs ~mem =
+  let schema =
+    Aggregate.output_schema input.Plan.schema ~group_by ~aggs
+  in
+  let in_est = input.Plan.est in
+  let rows = group_count ctx ~input_rows:in_est.Plan.rows ~group_by in
+  (* streaming aggregation when the single grouping column arrives in
+     order: equal keys adjacent, one pass, no working memory *)
+  let pre_sorted =
+    match group_by with
+    | [ g ] -> List.mem g (Plan.orders_of input)
+    | _ -> false
+  in
+  let group_pages = Cost_model.pages ~rows ~width:(width_of schema) in
+  let in_pages =
+    Cost_model.pages ~rows:in_est.Plan.rows ~width:in_est.Plan.width
+  in
+  let min_mem, max_mem =
+    if pre_sorted then (0, 0) else Cost_model.aggregate_mem ~group_pages
+  in
+  let mem = if pre_sorted then 0 else effective_mem ctx ~mem ~max_mem in
+  let op_ms =
+    if pre_sorted then
+      Cost_model.aggregate_sorted_ms ctx.model ~in_rows:in_est.Plan.rows
+        ~groups:rows
+    else
+      Cost_model.aggregate_ms ctx.model ~in_rows:in_est.Plan.rows ~in_pages
+        ~groups:rows ~group_pages ~mem_pages:mem
+  in
+  mk_node ctx (Plan.Aggregate { input; group_by; aggs; pre_sorted }) schema
+    ~rows ~op_ms ~children:[ input ] ~min_mem ~max_mem ~mem
+
+let mk_sort ctx ~input ~keys ~mem =
+  let in_est = input.Plan.est in
+  let data_pages =
+    Cost_model.pages ~rows:in_est.Plan.rows ~width:in_est.Plan.width
+  in
+  let min_mem, max_mem = Cost_model.sort_mem ~data_pages in
+  let mem = effective_mem ctx ~mem ~max_mem in
+  let op_ms =
+    Cost_model.sort_ms ctx.model ~rows:in_est.Plan.rows ~data_pages
+      ~mem_pages:mem
+  in
+  mk_node ctx (Plan.Sort { input; keys }) input.Plan.schema
+    ~rows:in_est.Plan.rows ~op_ms ~children:[ input ] ~min_mem ~max_mem ~mem
+
+let mk_filter ctx ~input ~pred =
+  let in_est = input.Plan.est in
+  let rows = in_est.Plan.rows *. sel ctx pred in
+  let op_ms = in_est.Plan.rows *. ctx.model.Sim_clock.cpu_tuple_ms in
+  mk_node ctx (Plan.Filter { input; pred }) input.Plan.schema ~rows ~op_ms
+    ~children:[ input ] ~min_mem:0 ~max_mem:0 ~mem:0
+
+let mk_project ctx ~input ~cols =
+  let idxs = List.map (Schema.index_of input.Plan.schema) cols in
+  let schema = Schema.project input.Plan.schema idxs in
+  let rows = input.Plan.est.Plan.rows in
+  let op_ms = Cost_model.project_ms ctx.model ~rows in
+  mk_node ctx (Plan.Project { input; cols }) schema ~rows ~op_ms
+    ~children:[ input ] ~min_mem:0 ~max_mem:0 ~mem:0
+
+let mk_limit ctx ~input ~n =
+  let rows = Float.min (float_of_int n) input.Plan.est.Plan.rows in
+  let op_ms = Cost_model.limit_ms ctx.model ~rows in
+  mk_node ctx (Plan.Limit { input; n }) input.Plan.schema ~rows ~op_ms
+    ~children:[ input ] ~min_mem:0 ~max_mem:0 ~mem:0
+
+let mk_collect ctx ~input ~spec ~cid =
+  let rows = input.Plan.est.Plan.rows in
+  let op_ms = Collector.estimated_cost_ms spec ~rows in
+  mk_node ctx (Plan.Collect { input; spec; cid }) input.Plan.schema ~rows
+    ~op_ms ~children:[ input ] ~min_mem:0 ~max_mem:0 ~mem:0
+
+(* ------------------------------------------------------------------ *)
+(* Conjunct analysis.                                                  *)
+
+type conj_info = {
+  expr : Expr.t;
+  owners : string list;  (* aliases of relations owning referenced columns *)
+}
+
+let alias_owning env col =
+  match
+    List.find_opt (fun r -> Stats_env.owns r col) (Stats_env.relations env)
+  with
+  | Some r -> r.Stats_env.alias
+  | None -> raise (Planning_error ("unknown column " ^ col))
+
+let conj_info env e =
+  let owners =
+    List.sort_uniq String.compare
+      (List.map (alias_owning env) (Expr.columns e))
+  in
+  { expr = e; owners }
+
+(* ------------------------------------------------------------------ *)
+(* Access paths.                                                       *)
+
+(* Index-usable bounds for [col] within local conjuncts: combined eq/range
+   constants. *)
+let index_bounds conjs col =
+  let lo = ref None and hi = ref None in
+  let tighten_lo v incl =
+    match !lo with
+    | None -> lo := Some (v, incl)
+    | Some (v0, _) when Value.compare v v0 > 0 -> lo := Some (v, incl)
+    | Some _ -> ()
+  in
+  let tighten_hi v incl =
+    match !hi with
+    | None -> hi := Some (v, incl)
+    | Some (v0, _) when Value.compare v v0 < 0 -> hi := Some (v, incl)
+    | Some _ -> ()
+  in
+  let used = ref [] in
+  List.iter
+    (fun conj ->
+       match Expr.shape_of conj with
+       | Expr.S_col_cmp_const (c, op, v) when c = col ->
+         (match op with
+          | Expr.Eq -> tighten_lo v true; tighten_hi v true; used := conj :: !used
+          | Expr.Lt -> tighten_hi v false; used := conj :: !used
+          | Expr.Le -> tighten_hi v true; used := conj :: !used
+          | Expr.Gt -> tighten_lo v false; used := conj :: !used
+          | Expr.Ge -> tighten_lo v true; used := conj :: !used
+          | Expr.Ne -> ())
+       | Expr.S_col_between (c, l, h) when c = col ->
+         tighten_lo l true;
+         tighten_hi h true;
+         used := conj :: !used
+       | _ -> ())
+    conjs;
+  (!lo, !hi, !used)
+
+(* All access paths for a relation: sequential scan, index range scans for
+   every index with a usable bound, and full index scans on columns whose
+   order is interesting further up (they cost more I/O but deliver sorted
+   output for merge joins, streaming aggregation or ORDER BY). *)
+let access_paths ctx ~(rel : Stats_env.rel_info) ~local ~interesting =
+  let filter = match local with [] -> None | l -> Some (Expr.conjoin l) in
+  let seq =
+    mk_seq_scan ctx ~table:rel.Stats_env.table ~alias:rel.Stats_env.alias
+      ~filter ~schema:rel.Stats_env.rel_schema
+  in
+  ctx.enumerated <- ctx.enumerated + 1;
+  let ranged =
+    List.filter_map
+      (fun col ->
+         let lo, hi, used = index_bounds local col in
+         if lo = None && hi = None then None
+         else begin
+           ctx.enumerated <- ctx.enumerated + 1;
+           let index_sel = sel ctx (Expr.conjoin used) in
+           Some
+             (mk_index_scan ctx ~table:rel.Stats_env.table
+                ~alias:rel.Stats_env.alias ~index_col:col ~lo ~hi ~filter
+                ~schema:rel.Stats_env.rel_schema ~index_sel)
+         end)
+      rel.Stats_env.indexed_cols
+  in
+  let ordered =
+    List.filter_map
+      (fun col ->
+         let already =
+           List.exists
+             (fun (p : Plan.t) -> List.mem col (Plan.orders_of p))
+             ranged
+         in
+         if already || not (List.mem col interesting) then None
+         else begin
+           ctx.enumerated <- ctx.enumerated + 1;
+           Some
+             (mk_index_scan ctx ~table:rel.Stats_env.table
+                ~alias:rel.Stats_env.alias ~index_col:col ~lo:None ~hi:None
+                ~filter ~schema:rel.Stats_env.rel_schema ~index_sel:1.0)
+         end)
+      rel.Stats_env.indexed_cols
+  in
+  seq :: (ranged @ ordered)
+
+(* ------------------------------------------------------------------ *)
+(* Join enumeration (DP over alias subsets).                           *)
+
+(* [rels] pairs each relation alias with its candidate access paths.  The
+   DP keeps, per subset of relations, a small Pareto set: the cheapest plan
+   overall plus the cheapest plan delivering each interesting order
+   (System R's interesting orders). *)
+let optimize_joins ctx options ~rels ~join_conjs ~complex_conjs ~interesting =
+  let n = List.length rels in
+  if n > 16 then raise (Planning_error "too many relations (max 16)");
+  let alias_bit = List.mapi (fun i (alias, _) -> (alias, 1 lsl i)) rels in
+  let bit_of alias = List.assoc alias alias_bit in
+  let mask_of owners =
+    List.fold_left (fun acc a -> acc lor bit_of a) 0 owners
+  in
+  let full = (1 lsl n) - 1 in
+  let best : (int, Plan.t list) Hashtbl.t = Hashtbl.create 64 in
+  let cheapest = function
+    | [] -> invalid_arg "cheapest: empty"
+    | p :: rest ->
+      List.fold_left
+        (fun (a : Plan.t) (b : Plan.t) ->
+           if b.Plan.est.Plan.total_ms < a.Plan.est.Plan.total_ms then b else a)
+        p rest
+  in
+  (* Pareto retention: cheapest overall + cheapest provider per order. *)
+  let retained plans =
+    match plans with
+    | [] -> []
+    | _ ->
+      let keep = ref [ cheapest plans ] in
+      List.iter
+        (fun o ->
+           match
+             List.filter (fun p -> List.mem o (Plan.orders_of p)) plans
+           with
+           | [] -> ()
+           | providers ->
+             let c = cheapest providers in
+             if not (List.memq c !keep) then keep := c :: !keep)
+        interesting;
+      !keep
+  in
+  let bucket mask = Option.value ~default:[] (Hashtbl.find_opt best mask) in
+  let consider mask plan =
+    Hashtbl.replace best mask (retained (plan :: bucket mask))
+  in
+  (* Conjuncts annotated with their owner masks. *)
+  let joins = List.map (fun ci -> (ci, mask_of ci.owners)) join_conjs in
+  let complexes = List.map (fun ci -> (ci, mask_of ci.owners)) complex_conjs in
+  (* Conjuncts that become applicable exactly when [mask] is assembled by
+     joining [s1] and [s2]: owners span both sides. *)
+  let spanning all s1 s2 =
+    List.filter_map
+      (fun (ci, m) ->
+         if m land s1 <> 0 && m land s2 <> 0 && m land lnot (s1 lor s2) = 0
+         then Some ci
+         else None)
+      all
+  in
+  (* Singletons. *)
+  List.iteri
+    (fun i (_, paths) -> List.iter (consider (1 lsl i)) paths)
+    rels;
+  (* Scan parameters of a singleton's relation (any of its access paths). *)
+  let scan_info_of s2 =
+    match bucket s2 with
+    | { Plan.node = Plan.Seq_scan { table; alias; filter }; _ } :: _
+    | { Plan.node = Plan.Index_scan { table; alias; filter; _ }; _ } :: _ ->
+      Some (table, alias, filter)
+    | _ -> None
+  in
+  (* Subsets in increasing popcount order: iterating masks ascending works
+     because any strict submask is numerically smaller. *)
+  for mask = 1 to full do
+    if mask land (mask - 1) <> 0 then begin
+      (* all ordered splits (s1 = probe/outer side, s2 = build/inner) *)
+      let s1 = ref (mask land (mask - 1)) in
+      while !s1 > 0 do
+        let s2 = mask lxor !s1 in
+        let lefts = bucket !s1 and rights = bucket s2 in
+        let conns = spanning joins !s1 s2 in
+        let cplx = spanning complexes !s1 s2 in
+        let bushy_ok =
+          options.enable_bushy || s2 land (s2 - 1) = 0 (* right singleton *)
+        in
+        if lefts <> [] && rights <> [] && bushy_ok && conns <> [] then begin
+          (* split conjuncts into equality keys and residual *)
+          let keys, residual =
+            List.partition_map
+              (fun ci ->
+                 match Expr.shape_of ci.expr with
+                 | Expr.S_col_eq_col (a, b) ->
+                   let a_owner = alias_owning ctx.env a in
+                   if bit_of a_owner land !s1 <> 0 then Left (a, b)
+                   else Left (b, a)
+                 | _ -> Right ci.expr)
+              conns
+          in
+          let extra_list = residual @ List.map (fun ci -> ci.expr) cplx in
+          let extra =
+            match extra_list with [] -> None | l -> Some (Expr.conjoin l)
+          in
+          List.iter
+            (fun left ->
+               List.iter
+                 (fun right ->
+                    if keys <> [] then begin
+                      ctx.enumerated <- ctx.enumerated + 1;
+                      consider mask
+                        (mk_hash_join ctx ~build:right ~probe:left ~keys
+                           ~extra ~mem:0);
+                      if options.enable_merge_join then begin
+                        ctx.enumerated <- ctx.enumerated + 1;
+                        consider mask
+                          (mk_merge_join ctx ~left ~right ~keys ~extra ~mem:0)
+                      end
+                    end
+                    else begin
+                      (* connected only through non-equi predicates *)
+                      ctx.enumerated <- ctx.enumerated + 1;
+                      consider mask
+                        (mk_block_nl_join ctx ~outer:left ~inner:right
+                           ~pred:extra ~mem:0)
+                    end)
+                 rights;
+               (* indexed nested loops: inner side must be a single base
+                  relation with an index on its key column *)
+               if keys <> [] && options.enable_index_join
+               && s2 land (s2 - 1) = 0
+               then begin
+                 match scan_info_of s2 with
+                 | None -> ()
+                 | Some (table, alias, filter) ->
+                   List.iter
+                     (fun (outer_col, inner_col) ->
+                        let info = Stats_env.rel ctx.env ~alias in
+                        if List.mem inner_col info.Stats_env.indexed_cols
+                        then begin
+                          ctx.enumerated <- ctx.enumerated + 1;
+                          let other_keys =
+                            List.filter
+                              (fun (o, i) -> (o, i) <> (outer_col, inner_col))
+                              keys
+                          in
+                          let extra_all =
+                            List.map
+                              (fun (o, i) -> Expr.(Cmp (Eq, Col o, Col i)))
+                              other_keys
+                            @ extra_list
+                          in
+                          let extra =
+                            match extra_all with
+                            | [] -> None
+                            | l -> Some (Expr.conjoin l)
+                          in
+                          consider mask
+                            (mk_index_nl_join ctx ~outer:left ~table ~alias
+                               ~outer_col ~inner_col ~inner_filter:filter
+                               ~extra
+                               ~inner_schema:info.Stats_env.rel_schema)
+                        end)
+                     keys
+               end)
+            lefts
+        end;
+        s1 := (!s1 - 1) land mask
+      done;
+      (* Cross-product fallback when nothing connected this subset. *)
+      if not (Hashtbl.mem best mask) then begin
+        let s1 = ref (mask land (mask - 1)) in
+        while !s1 > 0 do
+          let s2 = mask lxor !s1 in
+          (match bucket !s1, bucket s2 with
+           | left :: _, right :: _ ->
+             let cplx = spanning complexes !s1 s2 in
+             let pred =
+               match cplx with
+               | [] -> None
+               | l -> Some (Expr.conjoin (List.map (fun ci -> ci.expr) l))
+             in
+             ctx.enumerated <- ctx.enumerated + 1;
+             consider mask
+               (mk_block_nl_join ctx ~outer:left ~inner:right ~pred ~mem:0)
+           | _ -> ());
+          s1 := (!s1 - 1) land mask
+        done
+      end
+    end
+  done;
+  match bucket full with
+  | [] -> raise (Planning_error "join enumeration produced no plan")
+  | plans -> plans
+
+(* ------------------------------------------------------------------ *)
+(* Full query planning.                                                *)
+
+let agg_fn_of = function
+  | Mqr_sql.Ast.Count -> Aggregate.Count
+  | Mqr_sql.Ast.Sum -> Aggregate.Sum
+  | Mqr_sql.Ast.Avg -> Aggregate.Avg
+  | Mqr_sql.Ast.Min -> Aggregate.Min
+  | Mqr_sql.Ast.Max -> Aggregate.Max
+
+let agg_specs (q : Query.t) =
+  List.map
+    (fun (a : Query.agg) ->
+       { Aggregate.fn = agg_fn_of a.Query.fn;
+         distinct_arg = a.Query.distinct_arg;
+         arg = a.Query.arg;
+         out_name = a.Query.out_name })
+    q.Query.aggs
+
+let plan_query ctx options (q : Query.t) =
+  let infos = List.map (conj_info ctx.env) q.Query.conjuncts in
+  let local, rest =
+    List.partition (fun ci -> List.length ci.owners <= 1) infos
+  in
+  let join_conjs, complex_conjs =
+    List.partition
+      (fun ci ->
+         List.length ci.owners = 2
+         &&
+         match Expr.shape_of ci.expr with
+         | Expr.S_col_eq_col _ | Expr.S_col_cmp_col _ -> true
+         | _ -> false)
+      rest
+  in
+  (* Interesting orders: join-key columns (merge joins), grouping columns
+     (streaming aggregation), and a single ascending ORDER BY column (sort
+     elision). *)
+  let interesting =
+    let join_cols =
+      List.concat_map
+        (fun ci ->
+           match Expr.shape_of ci.expr with
+           | Expr.S_col_eq_col (a, b) -> [ a; b ]
+           | _ -> [])
+        join_conjs
+    in
+    let order_cols =
+      match q.Query.order_by with [ (c, true) ] -> [ c ] | _ -> []
+    in
+    List.sort_uniq String.compare (join_cols @ q.Query.group_by @ order_cols)
+  in
+  (* Base access paths with local predicates pushed down. *)
+  let rels =
+    List.map
+      (fun (r : Query.relation) ->
+         let rel = Stats_env.rel ctx.env ~alias:r.Query.alias in
+         let my_local =
+           List.filter_map
+             (fun ci ->
+                match ci.owners with
+                | [ a ] when a = r.Query.alias -> Some ci.expr
+                | _ -> None)
+             local
+         in
+         (r.Query.alias, access_paths ctx ~rel ~local:my_local ~interesting))
+      q.Query.relations
+  in
+  let candidates =
+    match rels with
+    | [ (_, paths) ] -> paths
+    | _ -> optimize_joins ctx options ~rels ~join_conjs ~complex_conjs ~interesting
+  in
+  (* Complete each join candidate with aggregation / projection / ordering
+     and keep the cheapest finished plan; a candidate that already delivers
+     the needed order skips its sort, one grouped on the grouping column
+     aggregates in a streaming pass. *)
+  let complete joined =
+    let with_agg =
+      if q.Query.aggs = [] && q.Query.group_by = [] then joined
+      else
+        mk_aggregate ctx ~input:joined ~group_by:q.Query.group_by
+          ~aggs:(agg_specs q) ~mem:0
+    in
+    let with_having =
+      match q.Query.having with
+      | None -> with_agg
+      | Some pred -> mk_filter ctx ~input:with_agg ~pred
+    in
+    (* Sort before projecting: ORDER BY may reference columns that are not
+       in the SELECT list, and projection preserves row order. *)
+    let with_sort =
+      match q.Query.order_by with
+      | [] -> with_having
+      | [ (c, true) ] when List.mem c (Plan.orders_of with_having) ->
+        with_having (* order already delivered: sort elided *)
+      | keys -> mk_sort ctx ~input:with_having ~keys ~mem:0
+    in
+    let with_project =
+      if q.Query.aggs = [] && q.Query.group_by = [] then
+        mk_project ctx ~input:with_sort ~cols:q.Query.select_cols
+      else with_sort
+    in
+    match q.Query.limit with
+    | None -> with_project
+    | Some n -> mk_limit ctx ~input:with_project ~n
+  in
+  match List.map complete candidates with
+  | [] -> raise (Planning_error "no plan produced")
+  | first :: rest ->
+    List.fold_left
+      (fun (a : Plan.t) (b : Plan.t) ->
+         if b.Plan.est.Plan.total_ms < a.Plan.est.Plan.total_ms then b else a)
+      first rest
+
+let optimize ?(options = default_options) ?clock ~model ~env q =
+  let ctx = make_ctx ~planning_mem:options.planning_mem_pages ~model ~env () in
+  let plan = plan_query ctx options q in
+  (match clock with
+   | Some c -> Sim_clock.charge_optimizer c ~plans:ctx.enumerated
+   | None -> ());
+  { plan; plans_enumerated = ctx.enumerated }
+
+(* ------------------------------------------------------------------ *)
+(* Re-costing an existing structure under improved statistics.         *)
+
+let recost ?(planning_mem = default_options.planning_mem_pages) ~model ~env plan =
+  let ctx = make_ctx ~planning_mem ~model ~env () in
+  let rec go (p : Plan.t) =
+    let keep_mem = p.Plan.mem in
+    let rebuilt =
+      match p.Plan.node with
+      | Plan.Seq_scan { table; alias; filter } ->
+        mk_seq_scan ctx ~table ~alias ~filter ~schema:p.Plan.schema
+      | Plan.Index_scan { table; alias; index_col; lo; hi; filter } ->
+        let used_sel =
+          (* selectivity of the bound constraints alone *)
+          let conj_of_bound =
+            let col = Expr.Col index_col in
+            let lo_e =
+              Option.map
+                (fun (v, incl) ->
+                   Expr.Cmp ((if incl then Expr.Ge else Expr.Gt), col, Expr.Const v))
+                lo
+            in
+            let hi_e =
+              Option.map
+                (fun (v, incl) ->
+                   Expr.Cmp ((if incl then Expr.Le else Expr.Lt), col, Expr.Const v))
+                hi
+            in
+            Expr.conjoin (List.filter_map Fun.id [ lo_e; hi_e ])
+          in
+          sel ctx conj_of_bound
+        in
+        mk_index_scan ctx ~table ~alias ~index_col ~lo ~hi ~filter
+          ~schema:p.Plan.schema ~index_sel:used_sel
+      | Plan.Hash_join { build; probe; keys; extra } ->
+        mk_hash_join ctx ~build:(go build) ~probe:(go probe) ~keys ~extra
+          ~mem:keep_mem
+      | Plan.Index_nl_join
+          { outer; table; alias; outer_col; inner_col; inner_filter; extra } ->
+        let info = Stats_env.rel ctx.env ~alias in
+        mk_index_nl_join ctx ~outer:(go outer) ~table ~alias ~outer_col
+          ~inner_col ~inner_filter ~extra
+          ~inner_schema:info.Stats_env.rel_schema
+      | Plan.Block_nl_join { outer; inner; pred } ->
+        mk_block_nl_join ctx ~outer:(go outer) ~inner:(go inner) ~pred
+          ~mem:keep_mem
+      | Plan.Merge_join { left; right; keys; extra; _ } ->
+        mk_merge_join ctx ~left:(go left) ~right:(go right) ~keys ~extra
+          ~mem:keep_mem
+      | Plan.Aggregate { input; group_by; aggs; _ } ->
+        mk_aggregate ctx ~input:(go input) ~group_by ~aggs ~mem:keep_mem
+      | Plan.Sort { input; keys } ->
+        mk_sort ctx ~input:(go input) ~keys ~mem:keep_mem
+      | Plan.Project { input; cols } -> mk_project ctx ~input:(go input) ~cols
+      | Plan.Filter { input; pred } -> mk_filter ctx ~input:(go input) ~pred
+      | Plan.Limit { input; n } -> mk_limit ctx ~input:(go input) ~n
+      | Plan.Collect { input; spec; cid } ->
+        mk_collect ctx ~input:(go input) ~spec ~cid
+      | Plan.Materialized { on_disk; _ } ->
+        let rows = p.Plan.est.Plan.rows and width = p.Plan.est.Plan.width in
+        let op_ms =
+          if on_disk then
+            Cost_model.seq_scan_ms ctx.model
+              ~pages:(Cost_model.pages ~rows ~width) ~rows
+          else 0.0
+        in
+        { p with Plan.est = { p.Plan.est with Plan.op_ms; total_ms = op_ms } }
+    in
+    { rebuilt with Plan.id = p.Plan.id }
+  in
+  go plan
+
+(* ------------------------------------------------------------------ *)
+(* Calibration of T_opt,estimated (worst case: star join).             *)
+
+let binom n k =
+  let k = min k (n - k) in
+  if k < 0 then 0.0
+  else begin
+    let r = ref 1.0 in
+    for i = 1 to k do
+      r := !r *. float_of_int (n - k + i) /. float_of_int i
+    done;
+    !r
+  end
+
+let estimated_opt_ms ~model ~relations =
+  let n = max 1 relations in
+  (* Connected subsets of a star of n relations contain the hub; a subset
+     of size k admits 2(k-1) ordered connected splits, each costed with up
+     to two physical alternatives, plus access-path enumeration. *)
+  let count = ref (2.0 *. float_of_int n) in
+  for k = 2 to n do
+    count := !count +. (binom (n - 1) (k - 1) *. 4.0 *. float_of_int (k - 1))
+  done;
+  !count *. model.Sim_clock.opt_per_plan_ms

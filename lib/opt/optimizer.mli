@@ -1,0 +1,56 @@
+(** System-R-style dynamic-programming query optimizer.
+
+    Enumerates join orders (bushy, with an ordered build/probe choice per
+    split), access paths (sequential vs B+-tree range scan) and join
+    algorithms (hash join, indexed nested loops, block nested loops as a
+    cross-product fallback), costing each candidate with {!Cost_model}
+    under the current {!Stats_env}.  The winning plan is returned fully
+    annotated — every node carries the estimates the run-time compares
+    observations against.
+
+    The number of candidates costed is reported (and charged to the
+    simulated clock when one is supplied): it is the basis of the paper's
+    [T_opt,estimated] calibration. *)
+
+open Mqr_storage
+
+type options = {
+  enable_index_join : bool;
+  enable_merge_join : bool;
+  enable_bushy : bool;   (** false restricts the right side to singletons *)
+  planning_mem_pages : int;
+  (** memory a consumer is assumed to receive when costing candidate plans
+      (before the Memory Manager has run).  Finite, so that build-side
+      choice and spill risk influence plan selection, as in System R.
+      Granted memory (set on plan nodes) always takes precedence. *)
+}
+
+val default_options : options
+
+type result = {
+  plan : Plan.t;
+  plans_enumerated : int;
+}
+
+exception Planning_error of string
+
+(** [optimize ?options ?clock ~model ~env query] plans the bound query.
+    When [clock] is given, optimizer time ([plans * opt_per_plan_ms]) is
+    charged to it. *)
+val optimize :
+  ?options:options -> ?clock:Sim_clock.t -> model:Sim_clock.model ->
+  env:Stats_env.t -> Mqr_sql.Query.t -> result
+
+(** Recompute every annotation of an existing plan bottom-up under
+    (possibly improved) statistics, *keeping the structure and the memory
+    grants*: the result's [total_ms] is the paper's [T_cur-plan,improved]
+    when [env] carries observed overrides.  Memory demands are refreshed
+    from the new size estimates; granted memory is re-used where positive,
+    otherwise the maximum demand is assumed. *)
+val recost :
+  ?planning_mem:int -> model:Sim_clock.model -> env:Stats_env.t -> Plan.t ->
+  Plan.t
+
+(** Calibrated worst-case (star join) optimization time for a query with
+    [relations] relations — the paper's [T_opt,estimated]. *)
+val estimated_opt_ms : model:Sim_clock.model -> relations:int -> float

@@ -1,0 +1,353 @@
+module Expr = Mqr_expr.Expr
+module Value = Mqr_storage.Value
+
+type udf_def = {
+  name : string;
+  fn : Value.t list -> Value.t;
+  selectivity : float option;
+}
+
+exception Parse_error of string
+
+type state = {
+  toks : Lexer.token array;
+  mutable pos : int;
+  udfs : udf_def list;
+}
+
+let peek st = st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg =
+  raise
+    (Parse_error
+       (Printf.sprintf "%s (at token %s)" msg
+          (Lexer.token_to_string (peek st))))
+
+let expect st tok msg =
+  if peek st = tok then advance st else fail st msg
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let accept_kw st kw = accept st (Lexer.KW kw)
+
+let expect_kw st kw = expect st (Lexer.KW kw) ("expected " ^ kw)
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | _ -> fail st "expected identifier"
+
+(* A column reference: ident or ident.ident *)
+let column_ref st =
+  let first = ident st in
+  if accept st Lexer.DOT then first ^ "." ^ ident st else first
+
+let rec parse_or st =
+  let left = parse_and st in
+  if accept_kw st "or" then Expr.Or (left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_not st in
+  if accept_kw st "and" then Expr.And (left, parse_and st) else left
+
+and parse_not st =
+  if accept_kw st "not" then Expr.Not (parse_not st) else parse_cmp st
+
+and parse_cmp st =
+  let left = parse_sum st in
+  match peek st with
+  | Lexer.EQ -> advance st; Expr.Cmp (Expr.Eq, left, parse_sum st)
+  | Lexer.NE -> advance st; Expr.Cmp (Expr.Ne, left, parse_sum st)
+  | Lexer.LT -> advance st; Expr.Cmp (Expr.Lt, left, parse_sum st)
+  | Lexer.LE -> advance st; Expr.Cmp (Expr.Le, left, parse_sum st)
+  | Lexer.GT -> advance st; Expr.Cmp (Expr.Gt, left, parse_sum st)
+  | Lexer.GE -> advance st; Expr.Cmp (Expr.Ge, left, parse_sum st)
+  | Lexer.KW "between" ->
+    advance st;
+    let lo = parse_sum st in
+    expect_kw st "and";
+    let hi = parse_sum st in
+    Expr.Between (left, lo, hi)
+  | _ -> left
+
+and parse_sum st =
+  let left = parse_prod st in
+  match peek st with
+  | Lexer.PLUS -> advance st; Expr.Arith (Expr.Add, left, parse_sum st)
+  | Lexer.MINUS -> advance st; Expr.Arith (Expr.Sub, left, parse_sum st)
+  | _ -> left
+
+and parse_prod st =
+  let left = parse_unary st in
+  match peek st with
+  | Lexer.STAR -> advance st; Expr.Arith (Expr.Mul, left, parse_prod st)
+  | Lexer.SLASH -> advance st; Expr.Arith (Expr.Div, left, parse_prod st)
+  | _ -> left
+
+and parse_unary st =
+  if accept st Lexer.MINUS then
+    Expr.Arith (Expr.Sub, Expr.Const (Value.Int 0), parse_primary st)
+  else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT i -> advance st; Expr.Const (Value.Int i)
+  | Lexer.FLOAT f -> advance st; Expr.Const (Value.Float f)
+  | Lexer.STRING s -> advance st; Expr.Const (Value.String s)
+  | Lexer.KW "date" ->
+    advance st;
+    (match peek st with
+     | Lexer.STRING s ->
+       advance st;
+       Expr.Const (Value.date_of_string s)
+     | _ -> fail st "expected date literal string")
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_or st in
+    expect st Lexer.RPAREN "expected )";
+    e
+  | Lexer.IDENT _ ->
+    let name = column_ref st in
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      let args = parse_args st in
+      expect st Lexer.RPAREN "expected )";
+      match List.find_opt (fun u -> u.name = name) st.udfs with
+      | Some u ->
+        Expr.udf ?selectivity:u.selectivity ~name:u.name u.fn args
+      | None -> raise (Parse_error ("unknown function " ^ name))
+    end
+    else Expr.Col name
+  | _ -> fail st "expected expression"
+
+and parse_args st =
+  if peek st = Lexer.RPAREN then []
+  else begin
+    let rec go acc =
+      let e = parse_or st in
+      if accept st Lexer.COMMA then go (e :: acc) else List.rev (e :: acc)
+    in
+    go []
+  end
+
+let agg_of_kw = function
+  | "count" -> Some Ast.Count
+  | "sum" -> Some Ast.Sum
+  | "avg" -> Some Ast.Avg
+  | "min" -> Some Ast.Min
+  | "max" -> Some Ast.Max
+  | _ -> None
+
+let parse_alias st =
+  if accept_kw st "as" then Some (ident st)
+  else
+    match peek st with
+    | Lexer.IDENT s -> advance st; Some s
+    | _ -> None
+
+let parse_select_item st =
+  match peek st with
+  | Lexer.STAR -> advance st; Ast.Star
+  | Lexer.KW kw when agg_of_kw kw <> None ->
+    let fn = Option.get (agg_of_kw kw) in
+    advance st;
+    expect st Lexer.LPAREN "expected ( after aggregate";
+    let distinct = accept_kw st "distinct" in
+    let arg =
+      if accept st Lexer.STAR then None else Some (parse_or st)
+    in
+    if distinct && arg = None then fail st "DISTINCT * is not valid";
+    expect st Lexer.RPAREN "expected ) after aggregate";
+    Ast.Agg_item (fn, distinct, arg, parse_alias st)
+  | _ ->
+    let e = parse_or st in
+    Ast.Expr_item (e, parse_alias st)
+
+let parse_from_item st =
+  let table = ident st in
+  let alias =
+    match peek st with
+    | Lexer.IDENT s -> advance st; Some s
+    | _ -> None
+  in
+  (table, alias)
+
+let comma_list st parse_item =
+  let rec go acc =
+    let item = parse_item st in
+    if accept st Lexer.COMMA then go (item :: acc) else List.rev (item :: acc)
+  in
+  go []
+
+let parse_query st =
+  expect_kw st "select";
+  let distinct = accept_kw st "distinct" in
+  let select = comma_list st parse_select_item in
+  expect_kw st "from";
+  let from = comma_list st parse_from_item in
+  let where = if accept_kw st "where" then Some (parse_or st) else None in
+  let group_by =
+    if accept_kw st "group" then begin
+      expect_kw st "by";
+      comma_list st column_ref
+    end
+    else []
+  in
+  let having = if accept_kw st "having" then Some (parse_or st) else None in
+  let order_by =
+    if accept_kw st "order" then begin
+      expect_kw st "by";
+      comma_list st (fun st ->
+          let key = column_ref st in
+          let asc =
+            if accept_kw st "desc" then false
+            else begin
+              ignore (accept_kw st "asc");
+              true
+            end
+          in
+          { Ast.key; asc })
+    end
+    else []
+  in
+  let limit =
+    if accept_kw st "limit" then begin
+      match peek st with
+      | Lexer.INT n -> advance st; Some n
+      | _ -> fail st "expected integer after limit"
+    end
+    else None
+  in
+  expect st Lexer.EOF "trailing tokens after query";
+  { Ast.select; distinct; from; where; group_by; having; order_by; limit }
+
+type statement =
+  | Select of Ast.query
+  | Insert of { table : string; rows : Expr.t list list }
+  | Delete of { table : string; where : Expr.t option }
+  | Create_table of {
+      table : string;
+      columns : (string * Mqr_storage.Value.ty * int option) list;
+    }
+  | Create_index of { table : string; column : string }
+  | Copy of { table : string; file : string }
+  | Analyze of string
+
+let parse_insert st =
+  expect_kw st "insert";
+  expect_kw st "into";
+  let table = ident st in
+  expect_kw st "values";
+  let parse_row st =
+    expect st Lexer.LPAREN "expected ( before row";
+    let vals = parse_args st in
+    expect st Lexer.RPAREN "expected ) after row";
+    vals
+  in
+  let rows = comma_list st parse_row in
+  expect st Lexer.EOF "trailing tokens after insert";
+  Insert { table; rows }
+
+let parse_delete st =
+  expect_kw st "delete";
+  expect_kw st "from";
+  let table = ident st in
+  let where = if accept_kw st "where" then Some (parse_or st) else None in
+  expect st Lexer.EOF "trailing tokens after delete";
+  Delete { table; where }
+
+let parse_type st =
+  match ident st with
+  | "int" | "integer" -> Value.TInt
+  | "float" | "double" | "real" -> Value.TFloat
+  | "bool" | "boolean" -> Value.TBool
+  | ty -> (match ty with
+           | "string" | "text" | "varchar" | "char" -> Value.TString
+           | _ -> fail st ("unknown type " ^ ty))
+
+let parse_type_with_width st =
+  (* DATE is a keyword, so handle it before the identifier path *)
+  if accept_kw st "date" then (Value.TDate, None)
+  else begin
+    let ty = parse_type st in
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      match peek st with
+      | Lexer.INT w ->
+        advance st;
+        expect st Lexer.RPAREN "expected ) after width";
+        (ty, Some w)
+      | _ -> fail st "expected width"
+    end
+    else (ty, None)
+  end
+
+let parse_create st =
+  expect_kw st "create";
+  if accept_kw st "table" then begin
+    let table = ident st in
+    expect st Lexer.LPAREN "expected ( after table name";
+    let parse_column st =
+      let cname = ident st in
+      let ty, width = parse_type_with_width st in
+      (cname, ty, width)
+    in
+    let columns = comma_list st parse_column in
+    expect st Lexer.RPAREN "expected ) after columns";
+    expect st Lexer.EOF "trailing tokens after create table";
+    Create_table { table; columns }
+  end
+  else begin
+    expect_kw st "index";
+    expect_kw st "on";
+    let table = ident st in
+    expect st Lexer.LPAREN "expected ( before column";
+    let column = ident st in
+    expect st Lexer.RPAREN "expected ) after column";
+    expect st Lexer.EOF "trailing tokens after create index";
+    Create_index { table; column }
+  end
+
+let parse_copy st =
+  expect_kw st "copy";
+  let table = ident st in
+  expect_kw st "from";
+  match peek st with
+  | Lexer.STRING file ->
+    advance st;
+    expect st Lexer.EOF "trailing tokens after copy";
+    Copy { table; file }
+  | _ -> fail st "expected file name string"
+
+let make_state ?(udfs = []) src =
+  { toks = Array.of_list (Lexer.tokenize src); pos = 0; udfs }
+
+let parse ?udfs src = parse_query (make_state ?udfs src)
+
+let parse_statement ?udfs src =
+  let st = make_state ?udfs src in
+  match peek st with
+  | Lexer.KW "insert" -> parse_insert st
+  | Lexer.KW "delete" -> parse_delete st
+  | Lexer.KW "create" -> parse_create st
+  | Lexer.KW "copy" -> parse_copy st
+  | Lexer.KW "analyze" ->
+    advance st;
+    let table = ident st in
+    expect st Lexer.EOF "trailing tokens after analyze";
+    Analyze table
+  | _ -> Select (parse_query st)
+
+let parse_expr ?udfs src =
+  let st = make_state ?udfs src in
+  let e = parse_or st in
+  expect st Lexer.EOF "trailing tokens after expression";
+  e

@@ -1,0 +1,36 @@
+(** Recursive-descent parser for the SQL subset.
+
+    User-defined functions appearing in predicates are resolved against the
+    [udfs] registry at parse time so the resulting expression carries the
+    executable closure (and its declared selectivity, if any). *)
+
+type udf_def = {
+  name : string;
+  fn : Mqr_storage.Value.t list -> Mqr_storage.Value.t;
+  selectivity : float option;
+}
+
+exception Parse_error of string
+
+(** @raise Parse_error or {!Lexer.Lex_error} on malformed input. *)
+val parse : ?udfs:udf_def list -> string -> Ast.query
+
+type statement =
+  | Select of Ast.query
+  | Insert of { table : string; rows : Mqr_expr.Expr.t list list }
+      (** INSERT INTO t VALUES (..), (..), ... — constant expressions *)
+  | Delete of { table : string; where : Mqr_expr.Expr.t option }
+  | Create_table of {
+      table : string;
+      columns : (string * Mqr_storage.Value.ty * int option) list;
+          (** (name, type, optional width for strings) *)
+    }
+  | Create_index of { table : string; column : string }
+  | Copy of { table : string; file : string }
+      (** COPY t FROM 'file.csv' *)
+  | Analyze of string  (** ANALYZE t *)
+
+val parse_statement : ?udfs:udf_def list -> string -> statement
+
+(** Parse a scalar/boolean expression on its own (for tests). *)
+val parse_expr : ?udfs:udf_def list -> string -> Mqr_expr.Expr.t

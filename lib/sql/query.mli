@@ -1,0 +1,53 @@
+(** Bound query blocks.
+
+    The binder resolves table names against the catalog, qualifies every
+    column reference with its relation alias, and validates the aggregate
+    structure.  The optimizer consumes this normal form directly: a set of
+    relations plus a bag of WHERE conjuncts. *)
+
+open Mqr_storage
+
+exception Bind_error of string
+
+type relation = {
+  table : string;
+  alias : string;
+  rel_schema : Schema.t;  (** columns qualified with [alias] *)
+}
+
+type agg = {
+  fn : Ast.agg_fn;
+  distinct_arg : bool;  (** e.g. count(distinct c) *)
+  arg : Mqr_expr.Expr.t option;  (** [None] only for count-star *)
+  out_name : string;
+}
+
+type t = {
+  relations : relation list;
+  conjuncts : Mqr_expr.Expr.t list;  (** fully-qualified WHERE conjuncts *)
+  select_cols : string list;         (** qualified non-aggregate outputs *)
+  aggs : agg list;
+  group_by : string list;            (** qualified *)
+  having : Mqr_expr.Expr.t option;
+      (** over the aggregate output: group columns and aggregate names *)
+  order_by : (string * bool) list;   (** output-column name, ascending? *)
+  limit : int option;
+}
+
+(** Bind an AST query against the catalog.
+    @raise Bind_error on unknown tables/columns, ambiguity, or invalid
+    aggregate structure. *)
+val bind : Mqr_catalog.Catalog.t -> Ast.query -> t
+
+(** Combined (alias-qualified) schema of all relations. *)
+val input_schema : t -> Schema.t
+
+(** Schema of the query result. *)
+val output_schema : Mqr_catalog.Catalog.t -> t -> Schema.t
+
+(** Number of join operators any plan for this block will contain
+    (relations - 1); the paper classifies queries as simple/medium/complex
+    by this count. *)
+val join_count : t -> int
+
+val pp : Format.formatter -> t -> unit

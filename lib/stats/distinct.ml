@@ -1,0 +1,79 @@
+module Value = Mqr_storage.Value
+
+(* 64-bit mix to decorrelate Value.hash outputs. *)
+let mix64 h =
+  let open Int64 in
+  let z = of_int h in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  logxor z (shift_right_logical z 33)
+
+module Fm = struct
+  type t = {
+    maps : int;
+    sketch : int array;  (* bitmaps of observed trailing-rank positions *)
+  }
+
+  let phi = 0.77351
+
+  let create ?(maps = 64) () =
+    if maps < 1 then invalid_arg "Distinct.Fm.create";
+    { maps; sketch = Array.make maps 0 }
+
+  let trailing_zeros x =
+    if Int64.equal x 0L then 62
+    else begin
+      let rec go i =
+        if Int64.equal (Int64.logand (Int64.shift_right_logical x i) 1L) 1L then i
+        else go (i + 1)
+      in
+      go 0
+    end
+
+  let add t v =
+    let h = mix64 (Value.hash v) in
+    let bucket = Int64.to_int (Int64.rem (Int64.logand h 0x7FFFFFFFFFFFFFFFL)
+                                 (Int64.of_int t.maps)) in
+    let rest = Int64.shift_right_logical h 8 in
+    let r = trailing_zeros rest in
+    t.sketch.(bucket) <- t.sketch.(bucket) lor (1 lsl min r 61)
+
+  (* Position of lowest zero bit. *)
+  let lowest_zero bits =
+    let rec go i = if bits land (1 lsl i) = 0 then i else go (i + 1) in
+    go 0
+
+  let estimate t =
+    let sum = Array.fold_left (fun acc b -> acc + lowest_zero b) 0 t.sketch in
+    let mean = float_of_int sum /. float_of_int t.maps in
+    float_of_int t.maps /. phi *. (2.0 ** mean)
+end
+
+type t = {
+  exact_limit : int;
+  exact : (int, unit) Hashtbl.t;
+  fm : Fm.t;
+  mutable overflowed : bool;
+}
+
+let create ?(exact_limit = 4096) () =
+  { exact_limit;
+    exact = Hashtbl.create 256;
+    fm = Fm.create ();
+    overflowed = false }
+
+let add t v =
+  Fm.add t.fm v;
+  if not t.overflowed then begin
+    let h = Int64.to_int (mix64 (Value.hash v)) in
+    if not (Hashtbl.mem t.exact h) then begin
+      Hashtbl.replace t.exact h ();
+      if Hashtbl.length t.exact > t.exact_limit then t.overflowed <- true
+    end
+  end
+
+let is_exact t = not t.overflowed
+
+let estimate t =
+  if t.overflowed then Fm.estimate t.fm
+  else float_of_int (Hashtbl.length t.exact)

@@ -1,0 +1,91 @@
+type key = int * int
+
+type t = {
+  capacity : int;
+  resident : (key, unit) Hashtbl.t;
+  pending : (key, int) Hashtbl.t;  (* queue occurrences per key *)
+  order : key Queue.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity_pages =
+  if capacity_pages < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
+  { capacity = capacity_pages;
+    resident = Hashtbl.create (2 * capacity_pages);
+    pending = Hashtbl.create (2 * capacity_pages);
+    order = Queue.create ();
+    hits = 0;
+    misses = 0 }
+
+let capacity t = t.capacity
+
+(* The lazy-deletion queue grows by one entry per access; compact it when
+   it gets much larger than the resident set, or a long-running scan over a
+   cached table would grow it without bound. *)
+let compact t =
+  (* Queue.fold visits oldest-first; prepending yields a newest-first list.
+     Keeping each key's first (i.e. newest) occurrence and reversing gives
+     the resident keys oldest-to-newest — the queue's invariant. *)
+  let newest_first = Queue.fold (fun acc k -> k :: acc) [] t.order in
+  let seen = Hashtbl.create (2 * t.capacity) in
+  let kept_newest_first =
+    List.filter
+      (fun k ->
+         if Hashtbl.mem seen k then false
+         else begin
+           Hashtbl.replace seen k ();
+           Hashtbl.mem t.resident k
+         end)
+      newest_first
+  in
+  Queue.clear t.order;
+  Hashtbl.reset t.pending;
+  List.iter
+    (fun k ->
+       Queue.push k t.order;
+       Hashtbl.replace t.pending k 1)
+    (List.rev kept_newest_first)
+
+let push_occurrence t key =
+  Queue.push key t.order;
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.pending key) in
+  Hashtbl.replace t.pending key (n + 1);
+  if Queue.length t.order > 8 * t.capacity + 64 then compact t
+
+(* Pop queue entries; an entry is the key's live (least-recent) occurrence
+   only when it is the last pending one.  Evict that key if resident. *)
+let rec evict_lru t =
+  match Queue.take_opt t.order with
+  | None -> ()
+  | Some key ->
+    let n = Option.value ~default:0 (Hashtbl.find_opt t.pending key) in
+    if n <= 1 then Hashtbl.remove t.pending key
+    else Hashtbl.replace t.pending key (n - 1);
+    if n <= 1 && Hashtbl.mem t.resident key then Hashtbl.remove t.resident key
+    else evict_lru t
+
+let access t ~file ~page =
+  let key = (file, page) in
+  let hit = Hashtbl.mem t.resident key in
+  if hit then t.hits <- t.hits + 1
+  else begin
+    t.misses <- t.misses + 1;
+    Hashtbl.replace t.resident key ()
+  end;
+  push_occurrence t key;
+  while Hashtbl.length t.resident > t.capacity do
+    evict_lru t
+  done;
+  hit
+
+let invalidate_file t file =
+  let doomed =
+    Hashtbl.fold (fun (f, p) () acc -> if f = file then (f, p) :: acc else acc)
+      t.resident []
+  in
+  List.iter (Hashtbl.remove t.resident) doomed
+
+let hits t = t.hits
+let misses t = t.misses
+let resident t = Hashtbl.length t.resident

@@ -1,0 +1,23 @@
+(** LRU buffer pool.
+
+    Tuples live in memory (this is a simulator), so the pool's only job is
+    deciding whether a page access is a *hit* (free) or a *miss* (charged to
+    the {!Sim_clock} by the caller).  Pages are identified by
+    [(file_id, page_no)]. *)
+
+type t
+
+val create : capacity_pages:int -> t
+
+val capacity : t -> int
+
+(** [access t ~file ~page] touches a page, returns [true] on a hit and
+    [false] on a miss (the page is then resident until evicted). *)
+val access : t -> file:int -> page:int -> bool
+
+(** Drop every cached page of [file] (used when temp tables are deleted). *)
+val invalidate_file : t -> int -> unit
+
+val hits : t -> int
+val misses : t -> int
+val resident : t -> int

@@ -1,0 +1,86 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let encode_field s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+         if c = '"' then Buffer.add_string buf "\"\""
+         else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let encode_line fields = String.concat "," (List.map encode_field fields)
+
+(* Streaming decoder over a string, tracking quote state; returns the list
+   of records. *)
+let decode_all src =
+  let records = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let n = String.length src in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_record () =
+    flush_field ();
+    records := List.rev !fields :: !records;
+    fields := []
+  in
+  let rec plain i =
+    if i >= n then (if Buffer.length buf > 0 || !fields <> [] then flush_record ())
+    else
+      match src.[i] with
+      | ',' -> flush_field (); plain (i + 1)
+      | '\n' -> flush_record (); plain (i + 1)
+      | '\r' -> plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then failwith "Csv: unterminated quoted field"
+    else
+      match src.[i] with
+      | '"' when i + 1 < n && src.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  in
+  plain 0;
+  List.rev !records
+
+let decode_line s =
+  match decode_all s with
+  | [ record ] -> record
+  | [] -> [ "" ]
+  | _ -> failwith "Csv.decode_line: multiple records"
+
+let write_file path records =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+       List.iter
+         (fun record ->
+            output_string oc (encode_line record);
+            output_char oc '\n')
+         records)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+       let len = in_channel_length ic in
+       let content = really_input_string ic len in
+       decode_all content)

@@ -1,0 +1,55 @@
+(** Heap files: the engine's table storage.
+
+    Tuples are kept in an in-memory growable array divided into fixed-size
+    logical pages; page accesses are routed through a {!Buffer_pool} and
+    charged to a {!Sim_clock}, so scans and fetches cost what they would on
+    disk.  The number of tuples per page is derived from the schema's
+    average tuple width and a 4 KB page. *)
+
+type t
+
+(** Globally unique id, used as the buffer-pool file id. *)
+val file_id : t -> int
+
+val page_size_bytes : int
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+
+val append : t -> Tuple.t -> unit
+
+val tuple_count : t -> int
+val page_count : t -> int
+val tuples_per_page : t -> int
+
+(** Direct access without I/O accounting (tests, statistics bootstrap). *)
+val get : t -> int -> Tuple.t
+
+(** [fetch t ~pool ~clock rid] reads the tuple's page through the buffer
+    pool, charging a random read on a miss. *)
+val fetch : t -> pool:Buffer_pool.t -> clock:Sim_clock.t -> int -> Tuple.t
+
+(** [scan t ~pool ~clock f] calls [f rid tuple] for every tuple, charging a
+    sequential read per page miss and CPU per tuple. *)
+val scan :
+  t -> pool:Buffer_pool.t -> clock:Sim_clock.t -> (int -> Tuple.t -> unit) -> unit
+
+(** [iter t f] iterates without any cost accounting. *)
+val iter : t -> (int -> Tuple.t -> unit) -> unit
+
+(** [scan_range t ~pool ~clock ~from_rid ~to_rid f] scans rids
+    [from_rid, to_rid) sequentially with the same cost accounting as
+    {!scan} (one sequential read per page miss, CPU per tuple).  Used by
+    the partitioned-parallel striped scan. *)
+val scan_range :
+  t -> pool:Buffer_pool.t -> clock:Sim_clock.t -> from_rid:int -> to_rid:int ->
+  (int -> Tuple.t -> unit) -> unit
+
+(** Charge the cost of writing the whole file out (used when an operator
+    materializes its output). *)
+val charge_full_write : t -> clock:Sim_clock.t -> unit
+
+(** [retain t keep] compacts the file, keeping only tuples satisfying
+    [keep]; returns how many were deleted.  Rids are reassigned, so any
+    index on the table must be rebuilt afterwards. *)
+val retain : t -> (Tuple.t -> bool) -> int

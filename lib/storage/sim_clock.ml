@@ -1,0 +1,84 @@
+type model = {
+  seq_read_ms : float;
+  rand_read_ms : float;
+  write_ms : float;
+  cpu_tuple_ms : float;
+  hash_tuple_ms : float;
+  sort_tuple_ms : float;
+  opt_per_plan_ms : float;
+}
+
+let default_model = {
+  seq_read_ms = 2.0;
+  rand_read_ms = 8.0;
+  write_ms = 3.0;
+  cpu_tuple_ms = 0.004;
+  hash_tuple_ms = 0.003;
+  sort_tuple_ms = 0.002;
+  opt_per_plan_ms = 0.5;
+}
+
+type counters = {
+  seq_reads : int;
+  rand_reads : int;
+  writes : int;
+  cpu_ms : float;
+  opt_ms : float;
+  opt_invocations : int;
+}
+
+type t = {
+  m : model;
+  mutable c : counters;
+}
+
+let zero_counters =
+  { seq_reads = 0; rand_reads = 0; writes = 0; cpu_ms = 0.0; opt_ms = 0.0;
+    opt_invocations = 0 }
+
+let create ?(model = default_model) () = { m = model; c = zero_counters }
+let model t = t.m
+
+let charge_seq_read t n = t.c <- { t.c with seq_reads = t.c.seq_reads + n }
+let charge_rand_read t n = t.c <- { t.c with rand_reads = t.c.rand_reads + n }
+let charge_write t n = t.c <- { t.c with writes = t.c.writes + n }
+
+let charge_cpu_ms t ms = t.c <- { t.c with cpu_ms = t.c.cpu_ms +. ms }
+
+let charge_cpu_tuples t n = charge_cpu_ms t (float_of_int n *. t.m.cpu_tuple_ms)
+let charge_hash_tuples t n = charge_cpu_ms t (float_of_int n *. t.m.hash_tuple_ms)
+let charge_sort_tuples t n = charge_cpu_ms t (float_of_int n *. t.m.sort_tuple_ms)
+
+let charge_optimizer t ~plans =
+  let ms = float_of_int plans *. t.m.opt_per_plan_ms in
+  t.c <- { t.c with
+           opt_ms = t.c.opt_ms +. ms;
+           opt_invocations = t.c.opt_invocations + 1 }
+
+let elapsed_of m c =
+  (float_of_int c.seq_reads *. m.seq_read_ms)
+  +. (float_of_int c.rand_reads *. m.rand_read_ms)
+  +. (float_of_int c.writes *. m.write_ms)
+  +. c.cpu_ms +. c.opt_ms
+
+let elapsed_ms t = elapsed_of t.m t.c
+
+let counters t = t.c
+let snapshot t = t.c
+
+let since t c0 =
+  let c = t.c in
+  elapsed_of t.m
+    { seq_reads = c.seq_reads - c0.seq_reads;
+      rand_reads = c.rand_reads - c0.rand_reads;
+      writes = c.writes - c0.writes;
+      cpu_ms = c.cpu_ms -. c0.cpu_ms;
+      opt_ms = c.opt_ms -. c0.opt_ms;
+      opt_invocations = c.opt_invocations - c0.opt_invocations }
+
+let reset t = t.c <- zero_counters
+
+let pp_counters fmt c =
+  Fmt.pf fmt
+    "{seq_reads=%d; rand_reads=%d; writes=%d; cpu=%.2fms; opt=%.2fms (%d invocations)}"
+    c.seq_reads c.rand_reads c.writes c.cpu_ms c.opt_ms c.opt_invocations

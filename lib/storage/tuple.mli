@@ -1,0 +1,15 @@
+(** Tuples: fixed-arity arrays of values. *)
+
+type t = Value.t array
+
+val arity : t -> int
+val get : t -> int -> Value.t
+val concat : t -> t -> t
+val project : t -> int list -> t
+
+(** Actual byte footprint of this tuple (header + per-value sizes). *)
+val byte_size : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,62 @@
+(** Typed runtime values.
+
+    Every cell of every tuple in the engine is a [Value.t].  Dates are
+    stored as a count of days since 1970-01-01 so that range predicates on
+    dates are plain integer comparisons. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Date of int  (** days since 1970-01-01 *)
+
+type ty = TBool | TInt | TFloat | TString | TDate
+
+(** Total order over values.  [Null] sorts before everything; [Int] and
+    [Float] compare numerically against each other; comparing other
+    cross-type pairs raises [Invalid_argument]. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** Hash suitable for hash joins / hash aggregation: numerically equal
+    [Int]/[Float] values hash identically. *)
+val hash : t -> int
+
+(** Type of a (non-null) value. *)
+val type_of : t -> ty
+
+(** Storage footprint in bytes, used for page-capacity and memory-demand
+    accounting. *)
+val byte_size : t -> int
+
+(** Numeric view of a value ([Bool]s are 0/1, [Date]s their day number).
+    Raises [Invalid_argument] on [String] and [Null]. *)
+val to_float : t -> float
+
+(** Inverse of [to_float] for a given target type; floats destined for
+    integer-like columns are rounded. *)
+val of_float : ty -> float -> t
+
+val is_null : t -> bool
+
+(** [date_of_string "1994-01-01"] parses an ISO date into [Date].
+    Raises [Invalid_argument] on malformed input. *)
+val date_of_string : string -> t
+
+(** Renders [Date] values back to ISO format. *)
+val date_to_string : int -> string
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val pp_ty : Format.formatter -> ty -> unit
+val ty_to_string : ty -> string
+
+(** Addition over numeric values; used by the aggregate operators. *)
+val add : t -> t -> t
+
+(** Minimum / maximum under [compare], treating [Null] as absent. *)
+val min_value : t -> t -> t
+val max_value : t -> t -> t

@@ -1,0 +1,223 @@
+open Mqr_storage
+module Rng = Mqr_stats.Rng
+module Zipf = Mqr_stats.Zipf
+module Catalog = Mqr_catalog.Catalog
+
+type options = {
+  sf : float;
+  skew_z : float;
+  seed : int;
+  correlated : bool;
+  hist_kind : Mqr_stats.Histogram.kind;
+  hist_buckets : int;
+}
+
+let default =
+  { sf = 0.01;
+    skew_z = 0.0;
+    seed = 42;
+    correlated = true;
+    hist_kind = Mqr_stats.Histogram.Maxdiff;
+    hist_buckets = 16 }
+
+let scaled_cardinality opts table =
+  match table with
+  | "region" -> 5
+  | "nation" -> 25
+  | t ->
+    max 10
+      (int_of_float (float_of_int (Schema_def.base_cardinality t) *. opts.sf))
+
+let region_names = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let nation_names =
+  [| "ALGERIA"; "ARGENTINA"; "BRAZIL"; "CANADA"; "EGYPT"; "ETHIOPIA";
+     "FRANCE"; "GERMANY"; "INDIA"; "INDONESIA"; "IRAN"; "IRAQ"; "JAPAN";
+     "JORDAN"; "KENYA"; "MOROCCO"; "MOZAMBIQUE"; "PERU"; "CHINA"; "ROMANIA";
+     "SAUDI ARABIA"; "VIETNAM"; "RUSSIA"; "UNITED KINGDOM"; "UNITED STATES" |]
+
+(* nation -> region mapping from the TPC-D spec *)
+let nation_region =
+  [| 0; 1; 1; 1; 4; 0; 3; 3; 2; 2; 4; 4; 2; 4; 0; 0; 0; 1; 2; 3; 4; 2; 3; 3; 1 |]
+
+let segments =
+  [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+
+let priorities =
+  [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+
+let ship_modes =
+  [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+
+let part_types =
+  [| "ECONOMY ANODIZED STEEL"; "ECONOMY BURNISHED COPPER";
+     "STANDARD POLISHED BRASS"; "STANDARD BRUSHED NICKEL";
+     "LARGE PLATED TIN"; "MEDIUM ANODIZED COPPER"; "SMALL POLISHED STEEL";
+     "PROMO BURNISHED NICKEL" |]
+
+let part_brands = [| "Brand#1"; "Brand#2"; "Brand#3"; "Brand#4"; "Brand#5" |]
+
+(* Skew-aware picker: draws uniformly, or through a Zipfian over the value
+   domain when z > 0.  Zipf tables are cached per domain size (building one
+   is O(n)). *)
+let make_cached_pick rng z =
+  let cache : (int, Zipf.t) Hashtbl.t = Hashtbl.create 8 in
+  fun n ->
+    if n <= 1 then 0
+    else if z <= 0.0 then Rng.int rng n
+    else begin
+      let zipf =
+        match Hashtbl.find_opt cache n with
+        | Some zf -> zf
+        | None ->
+          let zf = Zipf.create ~n ~z in
+          Hashtbl.replace cache n zf;
+          zf
+      in
+      Zipf.sample_index zipf rng
+    end
+
+let date s = Value.date_of_string s
+
+let day_of v = match v with Value.Date d -> d | _ -> assert false
+
+let generate opts =
+  let catalog = Catalog.create () in
+  let rng = Rng.create opts.seed in
+  let pick = make_cached_pick rng opts.skew_z in
+  let uniform n = if n <= 1 then 0 else Rng.int rng n in
+  let n_supplier = scaled_cardinality opts "supplier" in
+  let n_customer = scaled_cardinality opts "customer" in
+  let n_part = scaled_cardinality opts "part" in
+  let n_partsupp = scaled_cardinality opts "partsupp" in
+  let n_orders = scaled_cardinality opts "orders" in
+  let mk name schema =
+    let heap = Heap_file.create schema in
+    ignore (Catalog.add_table catalog name heap);
+    heap
+  in
+  (* region *)
+  let region = mk "region" Schema_def.region in
+  Array.iteri
+    (fun i name ->
+       Heap_file.append region [| Value.Int i; Value.String name |])
+    region_names;
+  (* nation *)
+  let nation = mk "nation" Schema_def.nation in
+  Array.iteri
+    (fun i name ->
+       Heap_file.append nation
+         [| Value.Int i; Value.String name; Value.Int nation_region.(i) |])
+    nation_names;
+  (* supplier *)
+  let supplier = mk "supplier" Schema_def.supplier in
+  for i = 0 to n_supplier - 1 do
+    Heap_file.append supplier
+      [| Value.Int i;
+         Value.String (Printf.sprintf "Supplier#%06d" i);
+         Value.Int (pick 25);
+         Value.Float (float_of_int (uniform 10_000) /. 10.0 -. 100.0) |]
+  done;
+  (* customer *)
+  let customer = mk "customer" Schema_def.customer in
+  for i = 0 to n_customer - 1 do
+    Heap_file.append customer
+      [| Value.Int i;
+         Value.String (Printf.sprintf "Customer#%06d" i);
+         Value.Int (pick 25);
+         Value.String segments.(pick (Array.length segments));
+         Value.Float (float_of_int (uniform 11_000) /. 10.0 -. 100.0) |]
+  done;
+  (* part *)
+  let part = mk "part" Schema_def.part in
+  for i = 0 to n_part - 1 do
+    Heap_file.append part
+      [| Value.Int i;
+         Value.String (Printf.sprintf "part name %06d" i);
+         Value.String part_brands.(pick (Array.length part_brands));
+         Value.String part_types.(pick (Array.length part_types));
+         Value.Int (1 + pick 50);
+         Value.Float (900.0 +. float_of_int (uniform 1100)) |]
+  done;
+  (* partsupp *)
+  let partsupp = mk "partsupp" Schema_def.partsupp in
+  for i = 0 to n_partsupp - 1 do
+    Heap_file.append partsupp
+      [| Value.Int (i mod n_part);
+         Value.Int ((i / 4) mod n_supplier);
+         Value.Int (1 + uniform 9999);
+         Value.Float (1.0 +. float_of_int (uniform 1000)) |]
+  done;
+  (* orders + lineitem *)
+  let orders = mk "orders" Schema_def.orders in
+  let lineitem = mk "lineitem" Schema_def.lineitem in
+  let start_day = day_of (date "1992-01-01") in
+  let end_day = day_of (date "1998-08-02") in
+  let date_span = end_day - start_day in
+  let flags = [| "R"; "A"; "N" |] in
+  let statuses = [| "O"; "F" |] in
+  for o = 0 to n_orders - 1 do
+    let custkey = pick n_customer in
+    let orderdate = start_day + pick date_span in
+    let n_lines = 1 + uniform 7 in
+    let totalprice = ref 0.0 in
+    for line = 1 to n_lines do
+      let quantity = 1 + pick 50 in
+      let partkey = pick n_part in
+      let suppkey = pick n_supplier in
+      let price = float_of_int (quantity * (900 + uniform 1100)) /. 10.0 in
+      (* Correlation: bigger quantities get bigger discounts, so the
+         optimizer's independence assumption on (quantity, discount)
+         predicates is wrong by construction. *)
+      let discount =
+        if opts.correlated then
+          Float.min 0.10 (0.01 +. (float_of_int quantity /. 50.0 *. 0.08))
+          +. (float_of_int (uniform 3) /. 100.0)
+        else float_of_int (uniform 11) /. 100.0
+      in
+      let shipdate = orderdate + 1 + uniform 121 in
+      let commitdate = orderdate + 30 + uniform 60 in
+      let receiptdate =
+        if opts.correlated then shipdate + 1 + uniform 30
+        else orderdate + 1 + uniform 151
+      in
+      let returnflag =
+        if opts.correlated && receiptdate > commitdate + 15 then "R"
+        else flags.(pick 3)
+      in
+      totalprice := !totalprice +. price;
+      Heap_file.append lineitem
+        [| Value.Int o;
+           Value.Int partkey;
+           Value.Int suppkey;
+           Value.Int line;
+           Value.Float (float_of_int quantity);
+           Value.Float price;
+           Value.Float discount;
+           Value.Float (float_of_int (uniform 9) /. 100.0);
+           Value.String returnflag;
+           Value.String statuses.(uniform 2);
+           Value.Date shipdate;
+           Value.Date commitdate;
+           Value.Date receiptdate;
+           Value.String ship_modes.(pick (Array.length ship_modes)) |]
+    done;
+    Heap_file.append orders
+      [| Value.Int o;
+         Value.Int custkey;
+         Value.String statuses.(uniform 2);
+         Value.Float !totalprice;
+         Value.Date orderdate;
+         Value.String priorities.(pick (Array.length priorities));
+         Value.Int (uniform 2) |]
+  done;
+  (* statistics + indexes *)
+  List.iter
+    (fun (name, _, keys) ->
+       Catalog.analyze_table ~kind:opts.hist_kind ~buckets:opts.hist_buckets
+         ~keys catalog name)
+    Schema_def.all;
+  List.iter
+    (fun (table, column) -> ignore (Catalog.create_index catalog ~table ~column))
+    Schema_def.indexes;
+  catalog

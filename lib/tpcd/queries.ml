@@ -1,0 +1,100 @@
+type klass = Simple | Medium | Complex
+
+let klass_to_string = function
+  | Simple -> "simple"
+  | Medium -> "medium"
+  | Complex -> "complex"
+
+type query = {
+  name : string;
+  sql : string;
+  joins : int;
+  klass : klass;
+}
+
+let classify ~joins =
+  if joins <= 1 then Simple else if joins <= 3 then Medium else Complex
+
+let mk name joins sql = { name; sql; joins; klass = classify ~joins }
+
+let q1 =
+  mk "Q1" 0
+    "select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty, \
+     sum(l_extendedprice) as sum_price, avg(l_quantity) as avg_qty, \
+     avg(l_discount) as avg_disc, count(*) as count_order \
+     from lineitem \
+     where l_shipdate <= date '1998-09-02' \
+     group by l_returnflag, l_linestatus \
+     order by l_returnflag, l_linestatus"
+
+let q3 =
+  mk "Q3" 2
+    "select l_orderkey, sum(l_extendedprice) as revenue, o_orderdate, \
+     o_shippriority \
+     from customer, orders, lineitem \
+     where c_mktsegment = 'BUILDING' and c_custkey = o_custkey \
+     and l_orderkey = o_orderkey and o_orderdate < date '1995-03-15' \
+     and l_shipdate > date '1995-03-15' \
+     group by l_orderkey, o_orderdate, o_shippriority \
+     order by revenue desc, o_orderdate limit 10"
+
+let q5 =
+  mk "Q5" 5
+    "select n_name, sum(l_extendedprice) as revenue \
+     from customer, orders, lineitem, supplier, nation, region \
+     where c_custkey = o_custkey and l_orderkey = o_orderkey \
+     and l_suppkey = s_suppkey and c_nationkey = s_nationkey \
+     and s_nationkey = n_nationkey and n_regionkey = r_regionkey \
+     and r_name = 'ASIA' and o_orderdate >= date '1994-01-01' \
+     and o_orderdate < date '1995-01-01' \
+     group by n_name order by revenue desc"
+
+let q6 =
+  mk "Q6" 0
+    "select sum(l_extendedprice) as revenue \
+     from lineitem \
+     where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01' \
+     and l_discount between 0.05 and 0.07 and l_quantity < 24"
+
+let q7 =
+  mk "Q7" 5
+    "select n1.n_name as supp_nation, n2.n_name as cust_nation, \
+     sum(l_extendedprice) as revenue \
+     from supplier, lineitem, orders, customer, nation n1, nation n2 \
+     where s_suppkey = l_suppkey and o_orderkey = l_orderkey \
+     and c_custkey = o_custkey and s_nationkey = n1.n_nationkey \
+     and c_nationkey = n2.n_nationkey \
+     and ((n1.n_name = 'FRANCE' and n2.n_name = 'GERMANY') \
+     or (n1.n_name = 'GERMANY' and n2.n_name = 'FRANCE')) \
+     and l_shipdate between date '1995-01-01' and date '1996-12-31' \
+     group by n1.n_name, n2.n_name"
+
+let q8 =
+  mk "Q8" 7
+    "select n2.n_name as nation, sum(l_extendedprice) as volume \
+     from part, supplier, lineitem, orders, customer, nation n1, nation n2, \
+     region \
+     where p_partkey = l_partkey and s_suppkey = l_suppkey \
+     and l_orderkey = o_orderkey and o_custkey = c_custkey \
+     and c_nationkey = n1.n_nationkey and n1.n_regionkey = r_regionkey \
+     and r_name = 'AMERICA' and s_nationkey = n2.n_nationkey \
+     and o_orderdate between date '1995-01-01' and date '1996-12-31' \
+     and p_type = 'ECONOMY ANODIZED STEEL' \
+     group by n2.n_name"
+
+let q10 =
+  mk "Q10" 3
+    "select c_custkey, c_name, sum(l_extendedprice) as revenue, n_name \
+     from customer, orders, lineitem, nation \
+     where c_custkey = o_custkey and l_orderkey = o_orderkey \
+     and o_orderdate >= date '1993-10-01' and o_orderdate < date '1994-01-01' \
+     and l_returnflag = 'R' and c_nationkey = n_nationkey \
+     group by c_custkey, c_name, n_name \
+     order by revenue desc limit 20"
+
+let all = [ q1; q6; q3; q10; q5; q7; q8 ]
+
+let find name =
+  match List.find_opt (fun q -> q.name = name) all with
+  | Some q -> q
+  | None -> invalid_arg ("Queries.find: unknown query " ^ name)

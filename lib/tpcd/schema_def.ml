@@ -1,0 +1,104 @@
+open Mqr_storage
+
+let c = Schema.col
+
+let region =
+  Schema.make
+    [ c "r_regionkey" Value.TInt;
+      c ~width:12 "r_name" Value.TString ]
+
+let nation =
+  Schema.make
+    [ c "n_nationkey" Value.TInt;
+      c ~width:16 "n_name" Value.TString;
+      c "n_regionkey" Value.TInt ]
+
+let supplier =
+  Schema.make
+    [ c "s_suppkey" Value.TInt;
+      c ~width:18 "s_name" Value.TString;
+      c "s_nationkey" Value.TInt;
+      c "s_acctbal" Value.TFloat ]
+
+let customer =
+  Schema.make
+    [ c "c_custkey" Value.TInt;
+      c ~width:18 "c_name" Value.TString;
+      c "c_nationkey" Value.TInt;
+      c ~width:10 "c_mktsegment" Value.TString;
+      c "c_acctbal" Value.TFloat ]
+
+let part =
+  Schema.make
+    [ c "p_partkey" Value.TInt;
+      c ~width:24 "p_name" Value.TString;
+      c ~width:10 "p_brand" Value.TString;
+      c ~width:24 "p_type" Value.TString;
+      c "p_size" Value.TInt;
+      c "p_retailprice" Value.TFloat ]
+
+let partsupp =
+  Schema.make
+    [ c "ps_partkey" Value.TInt;
+      c "ps_suppkey" Value.TInt;
+      c "ps_availqty" Value.TInt;
+      c "ps_supplycost" Value.TFloat ]
+
+let orders =
+  Schema.make
+    [ c "o_orderkey" Value.TInt;
+      c "o_custkey" Value.TInt;
+      c ~width:1 "o_orderstatus" Value.TString;
+      c "o_totalprice" Value.TFloat;
+      c "o_orderdate" Value.TDate;
+      c ~width:15 "o_orderpriority" Value.TString;
+      c "o_shippriority" Value.TInt ]
+
+let lineitem =
+  Schema.make
+    [ c "l_orderkey" Value.TInt;
+      c "l_partkey" Value.TInt;
+      c "l_suppkey" Value.TInt;
+      c "l_linenumber" Value.TInt;
+      c "l_quantity" Value.TFloat;
+      c "l_extendedprice" Value.TFloat;
+      c "l_discount" Value.TFloat;
+      c "l_tax" Value.TFloat;
+      c ~width:1 "l_returnflag" Value.TString;
+      c ~width:1 "l_linestatus" Value.TString;
+      c "l_shipdate" Value.TDate;
+      c "l_commitdate" Value.TDate;
+      c "l_receiptdate" Value.TDate;
+      c ~width:10 "l_shipmode" Value.TString ]
+
+let all =
+  [ ("region", region, [ "r_regionkey" ]);
+    ("nation", nation, [ "n_nationkey" ]);
+    ("supplier", supplier, [ "s_suppkey" ]);
+    ("customer", customer, [ "c_custkey" ]);
+    ("part", part, [ "p_partkey" ]);
+    ("partsupp", partsupp, [ "ps_partkey"; "ps_suppkey" ]);
+    ("orders", orders, [ "o_orderkey" ]);
+    ("lineitem", lineitem, [ "l_orderkey"; "l_linenumber" ]) ]
+
+let indexes =
+  [ ("region", "r_regionkey");
+    ("nation", "n_nationkey");
+    ("supplier", "s_suppkey");
+    ("customer", "c_custkey");
+    ("part", "p_partkey");
+    ("orders", "o_orderkey");
+    ("orders", "o_custkey");
+    ("lineitem", "l_orderkey");
+    ("lineitem", "l_partkey") ]
+
+let base_cardinality = function
+  | "region" -> 5
+  | "nation" -> 25
+  | "supplier" -> 10_000
+  | "customer" -> 150_000
+  | "part" -> 200_000
+  | "partsupp" -> 800_000
+  | "orders" -> 1_500_000
+  | "lineitem" -> 6_000_000
+  | t -> invalid_arg ("Schema_def.base_cardinality: " ^ t)

@@ -1,0 +1,26 @@
+(** TPC-D-style schema definitions (the eight benchmark tables).
+
+    Scaled-down in the data generator; the shapes (keys, foreign keys,
+    column types) follow the TPC-D specification [21]. *)
+
+open Mqr_storage
+
+val region : Schema.t
+val nation : Schema.t
+val supplier : Schema.t
+val customer : Schema.t
+val part : Schema.t
+val partsupp : Schema.t
+val orders : Schema.t
+val lineitem : Schema.t
+
+(** (table name, schema, primary-key columns). *)
+val all : (string * Schema.t * string list) list
+
+(** Columns to index for each table: primary keys plus the foreign keys the
+    benchmark queries join on. *)
+val indexes : (string * string) list
+
+(** Cardinality of a table at scale factor 1.0 (lineitem is approximate:
+    it averages four rows per order). *)
+val base_cardinality : string -> int

@@ -1,0 +1,52 @@
+module Catalog = Mqr_catalog.Catalog
+
+type degradation =
+  | Stale_cardinality of string * float
+  | Drop_histogram of string * string
+  | Drop_column_stats of string * string
+  | Mark_stale of string * string
+  | Histogram_kind of Mqr_stats.Histogram.kind
+
+let paper_degradations =
+  [ (* the fact tables grew since ANALYZE: the optimizer works from sizes
+       ~2x too small, so joins above them are under-provisioned *)
+    Stale_cardinality ("lineitem", 0.5);
+    Stale_cardinality ("orders", 0.5);
+    (* the date columns were never analyzed (in 1998 terms: predicates on
+       derived/transformed attributes): range guesses default to 1/3 *)
+    Drop_column_stats ("orders", "o_orderdate");
+    Drop_column_stats ("lineitem", "l_shipdate");
+    (* selective string predicates with no histogram: default guesses *)
+    Drop_histogram ("customer", "c_mktsegment");
+    Drop_histogram ("part", "p_type");
+    Drop_histogram ("lineitem", "l_returnflag");
+    (* correlated pair (quantity, discount): even with histograms the
+       independence assumption misestimates the conjunction *)
+    Mark_stale ("lineitem", "l_discount") ]
+
+let apply catalog ds =
+  List.iter
+    (fun d ->
+       match d with
+       | Stale_cardinality (table, factor) ->
+         Catalog.degrade_scale_cardinality catalog ~table factor
+       | Drop_histogram (table, column) ->
+         Catalog.degrade_drop_histogram catalog ~table ~column
+       | Drop_column_stats (table, column) ->
+         Catalog.degrade_drop_column_stats catalog ~table ~column
+       | Mark_stale (table, column) ->
+         Catalog.degrade_mark_stale catalog ~table ~column
+       | Histogram_kind kind ->
+         List.iter
+           (fun (name, _, _) ->
+              Catalog.degrade_set_histogram_kind catalog ~table:name ~kind)
+           Schema_def.all)
+    ds
+
+let experiment_catalog ?(sf = 0.01) ?(skew_z = 0.0) ?(seed = 42)
+    ?(degradations = paper_degradations) () =
+  let catalog =
+    Datagen.generate { Datagen.default with Datagen.sf; skew_z; seed }
+  in
+  apply catalog degradations;
+  catalog

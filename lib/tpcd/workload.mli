@@ -1,0 +1,30 @@
+(** Canned experiment setups: generated catalog plus the catalog
+    degradations that recreate the estimation-error sources the paper
+    lists (stale statistics, missing histograms, correlations the
+    histograms cannot capture). *)
+
+type degradation =
+  | Stale_cardinality of string * float
+      (** catalog believes [factor] times the true size (data grew or
+          shrank since the last ANALYZE) *)
+  | Drop_histogram of string * string      (** (table, column) *)
+  | Drop_column_stats of string * string
+      (** column never analyzed: no histogram, no min/max, no distinct *)
+  | Mark_stale of string * string
+  | Histogram_kind of Mqr_stats.Histogram.kind
+      (** re-analyze every table with this kind *)
+
+(** The default experiment degradations: lineitem and orders doubled since
+    their statistics were collected, the date columns were never analyzed,
+    and the string columns the queries filter on lost their histograms. *)
+val paper_degradations : degradation list
+
+(** Apply in list order.  Note that [Histogram_kind] re-analyzes every
+    table, erasing earlier drop/stale degradations — put it first. *)
+val apply : Mqr_catalog.Catalog.t -> degradation list -> unit
+
+(** [experiment_catalog ()] = generate + degrade, ready for the
+    benchmarks.  [sf] defaults to 0.01, [skew_z] to 0. *)
+val experiment_catalog :
+  ?sf:float -> ?skew_z:float -> ?seed:int ->
+  ?degradations:degradation list -> unit -> Mqr_catalog.Catalog.t

@@ -1,0 +1,141 @@
+(* Brute-force reference executor for bound queries: cross product of all
+   relations, full predicate evaluation, hash grouping, sort, limit.  Used
+   by the integration tests to validate engine results independent of the
+   optimizer, the memory manager and re-optimization. *)
+
+open Mqr_storage
+module Catalog = Mqr_catalog.Catalog
+module Query = Mqr_sql.Query
+module Expr = Mqr_expr.Expr
+module Ast = Mqr_sql.Ast
+
+let cross_product catalog (relations : Query.relation list) =
+  let schemas = List.map (fun r -> r.Query.rel_schema) relations in
+  let schema = List.fold_left Schema.concat (Schema.make []) schemas in
+  let tables =
+    List.map
+      (fun (r : Query.relation) ->
+         let tbl = Catalog.find_exn catalog r.Query.table in
+         let rows = ref [] in
+         Heap_file.iter tbl.Catalog.heap (fun _ t -> rows := t :: !rows);
+         List.rev !rows)
+      relations
+  in
+  let rec go acc = function
+    | [] -> [ acc ]
+    | rows :: rest -> List.concat_map (fun t -> go (Tuple.concat acc t) rest) rows
+  in
+  (go [||] tables, schema)
+
+let group_key idxs t = List.map (fun i -> t.(i)) idxs
+
+let run catalog (q : Query.t) : Tuple.t array * Schema.t =
+  let rows, schema = cross_product catalog q.Query.relations in
+  let pred = Expr.compile_pred schema (Expr.conjoin q.Query.conjuncts) in
+  let rows = List.filter pred rows in
+  let out_rows, out_schema =
+    if q.Query.aggs = [] && q.Query.group_by = [] then begin
+      let idxs = List.map (Schema.index_of schema) q.Query.select_cols in
+      (List.map (fun t -> Tuple.project t idxs) rows,
+       Schema.project schema idxs)
+    end
+    else begin
+      let group_idxs = List.map (Schema.index_of schema) q.Query.group_by in
+      let groups = Hashtbl.create 64 in
+      List.iter
+        (fun t ->
+           let key = group_key group_idxs t in
+           let existing = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+           Hashtbl.replace groups key (t :: existing))
+        rows;
+      if q.Query.group_by = [] && Hashtbl.length groups = 0 then
+        Hashtbl.replace groups [] [];
+      let agg_value members (a : Query.agg) =
+        let vals =
+          match a.Query.arg with
+          | None -> List.map (fun _ -> Value.Int 1) members
+          | Some e ->
+            let f = Expr.compile schema e in
+            List.filter_map
+              (fun t ->
+                 let v = f t in
+                 if Value.is_null v then None else Some v)
+              members
+        in
+        let vals =
+          if a.Query.distinct_arg then
+            List.fold_left
+              (fun acc v ->
+                 if List.exists (Value.equal v) acc then acc else v :: acc)
+              [] vals
+            |> List.rev
+          else vals
+        in
+        match a.Query.fn with
+        | Ast.Count ->
+          Value.Int
+            (match a.Query.arg with
+             | None -> List.length members
+             | Some _ -> List.length vals)
+        | Ast.Sum -> List.fold_left Value.add Value.Null vals
+        | Ast.Min -> List.fold_left Value.min_value Value.Null vals
+        | Ast.Max -> List.fold_left Value.max_value Value.Null vals
+        | Ast.Avg ->
+          if vals = [] then Value.Null
+          else begin
+            let s = List.fold_left Value.add Value.Null vals in
+            Value.Float (Value.to_float s /. float_of_int (List.length vals))
+          end
+      in
+      let out =
+        Hashtbl.fold
+          (fun key members acc ->
+             let aggs = List.map (agg_value members) q.Query.aggs in
+             Array.of_list (key @ aggs) :: acc)
+          groups []
+      in
+      (out, Query.output_schema catalog q)
+    end
+  in
+  (* having *)
+  let out_rows =
+    match q.Query.having with
+    | None -> out_rows
+    | Some pred ->
+      let p = Expr.compile_pred out_schema pred in
+      List.filter p out_rows
+  in
+  (* order by, limit *)
+  let out_rows =
+    match q.Query.order_by with
+    | [] -> out_rows
+    | keys ->
+      let idxs = List.map (fun (k, asc) -> (Schema.index_of out_schema k, asc)) keys in
+      let cmp a b =
+        let rec go = function
+          | [] -> 0
+          | (i, asc) :: rest ->
+            let c = Value.compare a.(i) b.(i) in
+            if c <> 0 then if asc then c else -c else go rest
+        in
+        go idxs
+      in
+      List.stable_sort cmp out_rows
+  in
+  let out_rows =
+    match q.Query.limit with
+    | None -> out_rows
+    | Some n -> List.filteri (fun i _ -> i < n) out_rows
+  in
+  (Array.of_list out_rows, out_schema)
+
+(* Order-insensitive comparison key for result checking. *)
+let canonical rows =
+  Array.to_list rows
+  |> List.map (fun t ->
+      Array.to_list t
+      |> List.map (fun v ->
+          match v with
+          | Value.Float f -> Printf.sprintf "%.6f" f
+          | v -> Value.to_string v))
+  |> List.sort compare

@@ -1,0 +1,134 @@
+open Mqr_storage
+module Catalog = Mqr_catalog.Catalog
+module Column_stats = Mqr_catalog.Column_stats
+module Histogram = Mqr_stats.Histogram
+
+let build_catalog () =
+  let catalog = Catalog.create () in
+  let schema =
+    Schema.make
+      [ Schema.col "id" Value.TInt;
+        Schema.col "grp" Value.TInt;
+        Schema.col "name" Value.TString ]
+  in
+  let heap = Heap_file.create schema in
+  for i = 0 to 999 do
+    Heap_file.append heap
+      [| Value.Int i; Value.Int (i mod 10);
+         Value.String (Printf.sprintf "n%d" (i mod 5)) |]
+  done;
+  ignore (Catalog.add_table catalog "items" heap);
+  Catalog.analyze_table ~keys:[ "id" ] catalog "items";
+  catalog
+
+let test_analyze_basics () =
+  let catalog = build_catalog () in
+  let tbl = Catalog.find_exn catalog "items" in
+  Alcotest.(check int) "believed rows" 1000 tbl.Catalog.believed_rows;
+  match Catalog.column_stats tbl "grp" with
+  | Some st ->
+    Alcotest.(check bool) "distinct 10" true
+      (match st.Column_stats.distinct with Some d -> abs_float (d -. 10.) < 0.5 | None -> false);
+    Alcotest.(check bool) "has histogram" true (st.Column_stats.histogram <> None);
+    Alcotest.(check bool) "min 0" true
+      (match st.Column_stats.min_v with Some v -> Value.equal v (Value.Int 0) | None -> false)
+  | None -> Alcotest.fail "no stats"
+
+let test_key_flag () =
+  let catalog = build_catalog () in
+  let tbl = Catalog.find_exn catalog "items" in
+  Alcotest.(check bool) "id is key" true
+    (match Catalog.column_stats tbl "id" with
+     | Some st -> st.Column_stats.is_key
+     | None -> false);
+  Alcotest.(check bool) "grp not key" false
+    (match Catalog.column_stats tbl "grp" with
+     | Some st -> st.Column_stats.is_key
+     | None -> true)
+
+let test_string_dictionary () =
+  let catalog = build_catalog () in
+  let tbl = Catalog.find_exn catalog "items" in
+  match Catalog.column_stats tbl "name" with
+  | Some st ->
+    Alcotest.(check bool) "dict present" true (st.Column_stats.dict <> None);
+    (match Column_stats.to_domain st (Value.String "n3") with
+     | Some _ -> ()
+     | None -> Alcotest.fail "known string maps");
+    (match Column_stats.to_domain st (Value.String "missing") with
+     | None -> ()
+     | Some _ -> Alcotest.fail "unknown string should not map")
+  | None -> Alcotest.fail "no stats"
+
+let test_degrade_drop_histogram () =
+  let catalog = build_catalog () in
+  Catalog.degrade_drop_histogram catalog ~table:"items" ~column:"grp";
+  let tbl = Catalog.find_exn catalog "items" in
+  Alcotest.(check bool) "histogram gone" true
+    (match Catalog.column_stats tbl "grp" with
+     | Some st -> st.Column_stats.histogram = None
+     | None -> false)
+
+let test_degrade_stale () =
+  let catalog = build_catalog () in
+  Catalog.degrade_mark_stale catalog ~table:"items" ~column:"grp";
+  let tbl = Catalog.find_exn catalog "items" in
+  Alcotest.(check bool) "stale" true
+    (match Catalog.column_stats tbl "grp" with
+     | Some st -> st.Column_stats.stale
+     | None -> false)
+
+let test_degrade_cardinality () =
+  let catalog = build_catalog () in
+  Catalog.degrade_scale_cardinality catalog ~table:"items" 0.5;
+  let tbl = Catalog.find_exn catalog "items" in
+  Alcotest.(check int) "halved" 500 tbl.Catalog.believed_rows;
+  Alcotest.(check int) "true rows unchanged" 1000
+    (Heap_file.tuple_count tbl.Catalog.heap)
+
+let test_degrade_hist_kind () =
+  let catalog = build_catalog () in
+  Catalog.degrade_set_histogram_kind catalog ~table:"items"
+    ~kind:Histogram.Equi_width;
+  let tbl = Catalog.find_exn catalog "items" in
+  Alcotest.(check bool) "equi-width now" true
+    (match Catalog.column_stats tbl "grp" with
+     | Some { Column_stats.histogram = Some h; _ } ->
+       Histogram.kind h = Histogram.Equi_width
+     | _ -> false)
+
+let test_index_lifecycle () =
+  let catalog = build_catalog () in
+  let ix = Catalog.create_index catalog ~table:"items" ~column:"grp" in
+  Alcotest.(check int) "all entries" 1000 (Btree.entry_count ix.Catalog.btree);
+  let tbl = Catalog.find_exn catalog "items" in
+  Alcotest.(check bool) "find_index" true
+    (Catalog.find_index tbl ~column:"grp" <> None);
+  Alcotest.(check bool) "missing index" true
+    (Catalog.find_index tbl ~column:"name" = None)
+
+let test_drop_table () =
+  let catalog = build_catalog () in
+  Catalog.drop_table catalog "items";
+  Alcotest.(check bool) "gone" true (Catalog.find catalog "items" = None)
+
+let test_duplicate_table () =
+  let catalog = build_catalog () in
+  let heap = Heap_file.create (Schema.make [ Schema.col "x" Value.TInt ]) in
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       ignore (Catalog.add_table catalog "items" heap);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [ Alcotest.test_case "analyze basics" `Quick test_analyze_basics;
+    Alcotest.test_case "key flag" `Quick test_key_flag;
+    Alcotest.test_case "string dictionary" `Quick test_string_dictionary;
+    Alcotest.test_case "degrade drop histogram" `Quick test_degrade_drop_histogram;
+    Alcotest.test_case "degrade stale" `Quick test_degrade_stale;
+    Alcotest.test_case "degrade cardinality" `Quick test_degrade_cardinality;
+    Alcotest.test_case "degrade hist kind" `Quick test_degrade_hist_kind;
+    Alcotest.test_case "index lifecycle" `Quick test_index_lifecycle;
+    Alcotest.test_case "drop table" `Quick test_drop_table;
+    Alcotest.test_case "duplicate table" `Quick test_duplicate_table ]

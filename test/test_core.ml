@@ -1,0 +1,353 @@
+open Mqr_storage
+module Catalog = Mqr_catalog.Catalog
+module Column_stats = Mqr_catalog.Column_stats
+module Parser = Mqr_sql.Parser
+module Query = Mqr_sql.Query
+module Plan = Mqr_opt.Plan
+module Optimizer = Mqr_opt.Optimizer
+module Stats_env = Mqr_opt.Stats_env
+module Inaccuracy = Mqr_core.Inaccuracy
+module Scia = Mqr_core.Scia
+module Reopt_policy = Mqr_core.Reopt_policy
+module Dispatcher = Mqr_core.Dispatcher
+module Engine = Mqr_core.Engine
+module Collector = Mqr_exec.Collector
+module Expr = Mqr_expr.Expr
+
+(* ------------------------------------------------------------------ *)
+(* Fixture: small 3-table schema usable with the reference executor.   *)
+
+let mini_catalog ?(kind = Mqr_stats.Histogram.Maxdiff) () =
+  let catalog = Catalog.create () in
+  let rng = Mqr_stats.Rng.create 11 in
+  let t_schema =
+    Schema.make
+      [ Schema.col "tk" Value.TInt; Schema.col "tval" Value.TInt;
+        Schema.col "tcat" Value.TString ]
+  in
+  let u_schema =
+    Schema.make [ Schema.col "uk" Value.TInt; Schema.col "ufk" Value.TInt;
+                  Schema.col "uval" Value.TInt ]
+  in
+  let v_schema =
+    Schema.make [ Schema.col "vk" Value.TInt; Schema.col "vtag" Value.TString ]
+  in
+  let t = Heap_file.create t_schema in
+  for i = 0 to 39 do
+    Heap_file.append t
+      [| Value.Int i; Value.Int (Mqr_stats.Rng.int rng 100);
+         Value.String (if i mod 4 = 0 then "gold" else "base") |]
+  done;
+  let u = Heap_file.create u_schema in
+  for i = 0 to 59 do
+    Heap_file.append u
+      [| Value.Int i; Value.Int (i mod 40); Value.Int (Mqr_stats.Rng.int rng 50) |]
+  done;
+  let v = Heap_file.create v_schema in
+  for i = 0 to 9 do
+    Heap_file.append v
+      [| Value.Int i; Value.String (Printf.sprintf "tag%d" (i mod 3)) |]
+  done;
+  ignore (Catalog.add_table catalog "t" t);
+  ignore (Catalog.add_table catalog "u" u);
+  ignore (Catalog.add_table catalog "v" v);
+  Catalog.analyze_table ~kind ~keys:[ "tk" ] catalog "t";
+  Catalog.analyze_table ~kind ~keys:[ "uk" ] catalog "u";
+  Catalog.analyze_table ~kind ~keys:[ "vk" ] catalog "v";
+  ignore (Catalog.create_index catalog ~table:"t" ~column:"tk");
+  catalog
+
+(* ------------------------------------------------------------------ *)
+(* Inaccuracy-potential rules.                                         *)
+
+let env_for catalog sql =
+  let q = Query.bind catalog (Parser.parse sql) in
+  (q, Stats_env.create catalog q.Query.relations)
+
+let plan_for catalog sql =
+  let q, env = env_for catalog sql in
+  ((Optimizer.optimize ~model:Sim_clock.default_model ~env q).Optimizer.plan, env)
+
+let test_base_histogram_levels () =
+  let catalog = mini_catalog () in
+  let _, env = env_for catalog "select tval from t" in
+  Alcotest.(check string) "maxdiff -> low" "low"
+    (Inaccuracy.level_to_string (Inaccuracy.base_histogram_level env ~column:"t.tval"));
+  Catalog.degrade_drop_histogram catalog ~table:"t" ~column:"tval";
+  let _, env = env_for catalog "select tval from t" in
+  Alcotest.(check string) "none -> high" "high"
+    (Inaccuracy.level_to_string (Inaccuracy.base_histogram_level env ~column:"t.tval"))
+
+let test_equi_histogram_is_medium () =
+  let catalog = mini_catalog ~kind:Mqr_stats.Histogram.Equi_width () in
+  let _, env = env_for catalog "select tval from t" in
+  Alcotest.(check string) "equi-width -> medium" "medium"
+    (Inaccuracy.level_to_string (Inaccuracy.base_histogram_level env ~column:"t.tval"))
+
+let test_stale_bumps () =
+  let catalog = mini_catalog () in
+  Catalog.degrade_mark_stale catalog ~table:"t" ~column:"tval";
+  let _, env = env_for catalog "select tval from t" in
+  Alcotest.(check string) "stale maxdiff -> medium" "medium"
+    (Inaccuracy.level_to_string (Inaccuracy.base_histogram_level env ~column:"t.tval"))
+
+let test_multi_attr_filter_bumps () =
+  let catalog = mini_catalog () in
+  let plan1, env1 = plan_for catalog "select tk from t where tval < 50" in
+  let plan2, env2 =
+    plan_for catalog "select tk from t where tval < 50 and tcat = 'gold'"
+  in
+  let lvl1 = Inaccuracy.cardinality_level env1 plan1 in
+  let lvl2 = Inaccuracy.cardinality_level env2 plan2 in
+  Alcotest.(check bool) "correlated filter worse" true
+    (Inaccuracy.compare_level lvl2 lvl1 > 0)
+
+let test_udf_filter_high () =
+  let catalog = mini_catalog () in
+  let q =
+    Query.bind catalog
+      (Parser.parse
+         ~udfs:[ { Parser.name = "f"; fn = (fun _ -> Value.Bool true); selectivity = None } ]
+         "select tk from t where f(tval)")
+  in
+  let env = Stats_env.create catalog q.Query.relations in
+  let plan = (Optimizer.optimize ~model:Sim_clock.default_model ~env q).Optimizer.plan in
+  Alcotest.(check string) "udf -> high" "high"
+    (Inaccuracy.level_to_string (Inaccuracy.cardinality_level env plan))
+
+let test_distinct_level_intermediate_high () =
+  let catalog = mini_catalog () in
+  let plan, env = plan_for catalog "select tval from t where tcat = 'gold'" in
+  Alcotest.(check string) "post-filter distinct high" "high"
+    (Inaccuracy.level_to_string (Inaccuracy.distinct_level env plan ~column:"t.tval"))
+
+let test_bump_saturates () =
+  Alcotest.(check string) "high stays high" "high"
+    (Inaccuracy.level_to_string (Inaccuracy.bump Inaccuracy.High))
+
+(* ------------------------------------------------------------------ *)
+(* SCIA.                                                               *)
+
+let test_scia_inserts_for_join_columns () =
+  let catalog = mini_catalog () in
+  Catalog.degrade_drop_histogram catalog ~table:"u" ~column:"ufk";
+  let plan, env =
+    plan_for catalog
+      "select uval from t, u where t.tk = u.ufk and tcat = 'gold'"
+  in
+  let outcome = Scia.insert ~mu:0.10 ~env plan in
+  Alcotest.(check bool) "kept some stats" true (outcome.Scia.kept <> []);
+  let collects =
+    Plan.fold
+      (fun acc n -> match n.Plan.node with Plan.Collect _ -> acc + 1 | _ -> acc)
+      0 outcome.Scia.plan
+  in
+  Alcotest.(check bool) "collect operators inserted" true (collects > 0)
+
+let test_scia_budget_respected () =
+  let catalog = mini_catalog () in
+  let plan, env =
+    plan_for catalog
+      "select tcat, sum(uval) as s from t, u, v \
+       where t.tk = u.ufk and u.uval = v.vk and tcat = 'gold' group by tcat"
+  in
+  let outcome = Scia.insert ~mu:0.05 ~env plan in
+  let spent =
+    List.fold_left (fun acc c -> acc +. c.Scia.collect_ms) 0.0 outcome.Scia.kept
+  in
+  Alcotest.(check bool) "within budget" true (spent <= outcome.Scia.budget_ms +. 1e-9)
+
+let test_scia_zero_budget_drops_all () =
+  let catalog = mini_catalog () in
+  let plan, env =
+    plan_for catalog "select uval from t, u where t.tk = u.ufk"
+  in
+  let outcome = Scia.insert ~mu:0.0 ~env plan in
+  Alcotest.(check (list string)) "nothing kept" []
+    (List.map (fun c -> c.Scia.column) outcome.Scia.kept)
+
+let test_scia_ranking_prefers_high_inaccuracy () =
+  let catalog = mini_catalog () in
+  Catalog.degrade_drop_histogram catalog ~table:"u" ~column:"ufk";
+  let plan, env =
+    plan_for catalog
+      "select uval from t, u where t.tk = u.ufk and u.uval < 25"
+  in
+  let outcome = Scia.insert ~mu:1.0 ~env plan in
+  (* with an unconstrained budget everything is kept, ranked by level *)
+  match outcome.Scia.kept with
+  | [] -> Alcotest.fail "expected candidates"
+  | first :: _ ->
+    Alcotest.(check string) "most inaccurate first" "high"
+      (Inaccuracy.level_to_string first.Scia.level)
+
+let test_scia_no_candidates_for_single_table_scan () =
+  let catalog = mini_catalog () in
+  let plan, env = plan_for catalog "select tval from t where tval < 50" in
+  let outcome = Scia.insert ~mu:0.5 ~env plan in
+  Alcotest.(check (list string)) "no stats useful" []
+    (List.map (fun c -> c.Scia.column) outcome.Scia.kept)
+
+(* ------------------------------------------------------------------ *)
+(* Re-optimization policy.                                             *)
+
+let params = Reopt_policy.default_params
+
+let test_policy_eq1 () =
+  (* optimizer invocation too expensive relative to the remainder *)
+  Alcotest.(check string) "too cheap" "too-cheap (Eq. 1)"
+    (Reopt_policy.decision_to_string
+       (Reopt_policy.should_consider params ~t_opt_estimated:10.0
+          ~t_improved:100.0 ~t_optimizer:50.0))
+
+let test_policy_eq2 () =
+  Alcotest.(check string) "close enough" "close-enough (Eq. 2)"
+    (Reopt_policy.decision_to_string
+       (Reopt_policy.should_consider params ~t_opt_estimated:1.0
+          ~t_improved:110.0 ~t_optimizer:100.0))
+
+let test_policy_consider () =
+  Alcotest.(check string) "consider" "consider"
+    (Reopt_policy.decision_to_string
+       (Reopt_policy.should_consider params ~t_opt_estimated:1.0
+          ~t_improved:200.0 ~t_optimizer:100.0))
+
+let test_policy_acceptance () =
+  Alcotest.(check bool) "cheaper accepted" true
+    (Reopt_policy.accept_new_plan ~t_new_total:90.0 ~t_improved:100.0);
+  Alcotest.(check bool) "ties rejected" false
+    (Reopt_policy.accept_new_plan ~t_new_total:100.0 ~t_improved:100.0)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher integration: engine results vs brute-force reference.    *)
+
+let integration_queries =
+  [ "select tval from t where tval < 50";
+    "select tcat, count(*) as n from t group by tcat";
+    "select uval from t, u where t.tk = u.ufk and tcat = 'gold'";
+    "select tcat, sum(uval) as s from t, u where t.tk = u.ufk group by tcat";
+    "select vtag, count(*) as n from t, u, v \
+     where t.tk = u.ufk and u.uval = v.vk group by vtag";
+    "select tval from t order by tval desc limit 5";
+    "select tcat, avg(tval) as a from t group by tcat order by tcat";
+    "select t.tk, uval from t, u where t.tk = u.ufk and uval < 10 \
+     order by uval, tk limit 7";
+    "select distinct tcat from t";
+    "select distinct ufk from u order by ufk limit 5";
+    "select tcat, count(*) as n from t group by tcat having n > 5";
+    "select ufk, sum(uval) as s from u group by ufk having s > 50 order by s desc";
+    "select tcat, count(distinct tval) as d from t group by tcat order by tcat";
+    "select count(distinct ufk) as d, sum(distinct uval) as s from u" ]
+
+let modes =
+  [ Dispatcher.Off; Dispatcher.Memory_only; Dispatcher.Plan_only; Dispatcher.Full ]
+
+let test_engine_matches_reference () =
+  let catalog = mini_catalog () in
+  let engine = Engine.create ~budget_pages:32 catalog in
+  List.iter
+    (fun sql ->
+       let q = Engine.bind_sql engine sql in
+       let expect, _ = Reference.run catalog q in
+       List.iter
+         (fun mode ->
+            let r = Engine.run_sql engine ~mode sql in
+            Alcotest.(check (list (list string)))
+              (Printf.sprintf "%s [%s]" sql (Dispatcher.mode_to_string mode))
+              (Reference.canonical expect)
+              (Reference.canonical r.Dispatcher.rows))
+         modes)
+    integration_queries
+
+let test_order_by_respected () =
+  let catalog = mini_catalog () in
+  let engine = Engine.create catalog in
+  let r = Engine.run_sql engine "select tval from t order by tval desc limit 5" in
+  let values =
+    Array.to_list (Array.map (fun t -> Value.to_float t.(0)) r.Dispatcher.rows)
+  in
+  let sorted = List.sort (fun a b -> compare b a) values in
+  Alcotest.(check (list (float 0.0))) "descending" sorted values
+
+let test_temp_tables_cleaned_up () =
+  let catalog = mini_catalog () in
+  let engine = Engine.create ~budget_pages:16 catalog in
+  let before = List.length (Catalog.tables catalog) in
+  ignore
+    (Engine.run_sql engine
+       "select uval from t, u where t.tk = u.ufk and tcat = 'gold'");
+  Alcotest.(check int) "no temp leak" before (List.length (Catalog.tables catalog))
+
+let test_simple_query_overhead_bounded () =
+  let catalog = mini_catalog () in
+  let engine = Engine.create catalog in
+  let sql = "select tcat, count(*) as n from t group by tcat" in
+  let off = Engine.time_ms engine ~mode:Dispatcher.Off sql in
+  let full = Engine.time_ms engine ~mode:Dispatcher.Full sql in
+  (* collector overhead is bounded by mu plus slack for rounding *)
+  Alcotest.(check bool)
+    (Printf.sprintf "overhead bounded: off=%.2f full=%.2f" off full)
+    true
+    (full <= off *. (1.0 +. (Engine.params engine).Reopt_policy.mu +. 0.05))
+
+let test_udf_query_runs () =
+  let catalog = mini_catalog () in
+  let engine = Engine.create catalog in
+  Engine.register_udf engine ~name:"is_small" (function
+      | [ Value.Int v ] -> Value.Bool (v < 20)
+      | _ -> Value.Null);
+  let r = Engine.run_sql engine "select tval from t where is_small(tval)" in
+  Array.iter
+    (fun t ->
+       match t.(0) with
+       | Value.Int v -> Alcotest.(check bool) "udf filtered" true (v < 20)
+       | _ -> Alcotest.fail "type")
+    r.Dispatcher.rows
+
+let test_explain_annotated () =
+  let catalog = mini_catalog () in
+  let engine = Engine.create catalog in
+  let plan = Engine.explain engine "select uval from t, u where t.tk = u.ufk" in
+  Alcotest.(check bool) "explain has joins" true (Plan.join_count plan >= 1);
+  Alcotest.(check bool) "annotated" true (plan.Plan.est.Plan.total_ms > 0.0)
+
+let test_events_reported () =
+  let catalog = mini_catalog () in
+  let engine = Engine.create ~budget_pages:16 catalog in
+  Catalog.degrade_drop_histogram catalog ~table:"u" ~column:"ufk";
+  let r =
+    Engine.run_sql engine
+      "select vtag, count(*) as n from t, u, v \
+       where t.tk = u.ufk and u.uval = v.vk group by vtag"
+  in
+  let has_unit_done =
+    List.exists
+      (fun ev -> match ev with Dispatcher.Ev_unit_done _ -> true | _ -> false)
+      r.Dispatcher.events
+  in
+  Alcotest.(check bool) "unit events" true has_unit_done
+
+let suite =
+  [ Alcotest.test_case "base histogram levels" `Quick test_base_histogram_levels;
+    Alcotest.test_case "equi histogram medium" `Quick test_equi_histogram_is_medium;
+    Alcotest.test_case "stale bumps" `Quick test_stale_bumps;
+    Alcotest.test_case "multi-attr filter bumps" `Quick test_multi_attr_filter_bumps;
+    Alcotest.test_case "udf filter high" `Quick test_udf_filter_high;
+    Alcotest.test_case "intermediate distinct high" `Quick test_distinct_level_intermediate_high;
+    Alcotest.test_case "bump saturates" `Quick test_bump_saturates;
+    Alcotest.test_case "scia inserts collectors" `Quick test_scia_inserts_for_join_columns;
+    Alcotest.test_case "scia budget" `Quick test_scia_budget_respected;
+    Alcotest.test_case "scia zero budget" `Quick test_scia_zero_budget_drops_all;
+    Alcotest.test_case "scia ranking" `Quick test_scia_ranking_prefers_high_inaccuracy;
+    Alcotest.test_case "scia no candidates" `Quick test_scia_no_candidates_for_single_table_scan;
+    Alcotest.test_case "policy eq1" `Quick test_policy_eq1;
+    Alcotest.test_case "policy eq2" `Quick test_policy_eq2;
+    Alcotest.test_case "policy consider" `Quick test_policy_consider;
+    Alcotest.test_case "policy acceptance" `Quick test_policy_acceptance;
+    Alcotest.test_case "engine matches reference" `Quick test_engine_matches_reference;
+    Alcotest.test_case "order by respected" `Quick test_order_by_respected;
+    Alcotest.test_case "temp cleanup" `Quick test_temp_tables_cleaned_up;
+    Alcotest.test_case "simple overhead bounded" `Quick test_simple_query_overhead_bounded;
+    Alcotest.test_case "udf query" `Quick test_udf_query_runs;
+    Alcotest.test_case "explain" `Quick test_explain_annotated;
+    Alcotest.test_case "events reported" `Quick test_events_reported ]

@@ -1,0 +1,523 @@
+open Mqr_storage
+module Exec_ctx = Mqr_exec.Exec_ctx
+module Scan = Mqr_exec.Scan
+module Rows_ops = Mqr_exec.Rows_ops
+module Join = Mqr_exec.Join
+module Sort = Mqr_exec.Sort
+module Aggregate = Mqr_exec.Aggregate
+module Collector = Mqr_exec.Collector
+module Expr = Mqr_expr.Expr
+module Histogram = Mqr_stats.Histogram
+
+let ctx () = Exec_ctx.create ~pool_pages:256 ()
+
+let schema_ab q =
+  Schema.make
+    [ Schema.col ~qualifier:q "a" Value.TInt;
+      Schema.col ~qualifier:q "b" Value.TInt ]
+
+let rows_of l = Array.of_list (List.map (fun (a, b) -> [| Value.Int a; Value.Int b |]) l)
+
+let sorted_pairs rows =
+  Array.to_list rows
+  |> List.map (fun t -> Array.to_list (Array.map Value.to_string t))
+  |> List.sort compare
+
+(* --- scans --- *)
+
+let test_seq_scan () =
+  let c = ctx () in
+  let heap = Heap_file.create (schema_ab "t") in
+  for i = 0 to 99 do
+    Heap_file.append heap [| Value.Int i; Value.Int (i * 2) |]
+  done;
+  let rows = Scan.seq_scan c heap in
+  Alcotest.(check int) "all rows" 100 (Array.length rows);
+  Alcotest.(check bool) "charged io" true
+    ((Sim_clock.counters c.Exec_ctx.clock).Sim_clock.seq_reads > 0)
+
+let test_index_scan () =
+  let c = ctx () in
+  let heap = Heap_file.create (schema_ab "t") in
+  let bt = Btree.create () in
+  for i = 0 to 999 do
+    Heap_file.append heap [| Value.Int i; Value.Int i |];
+    Btree.insert bt (Value.Int i) i
+  done;
+  let rows = Scan.index_scan c heap bt ~lo:(Value.Int 10, true) ~hi:(Value.Int 19, true) () in
+  Alcotest.(check int) "range size" 10 (Array.length rows)
+
+(* --- filter/project/limit --- *)
+
+let test_filter () =
+  let c = ctx () in
+  let schema = schema_ab "t" in
+  let rows = rows_of (List.init 100 (fun i -> (i, i))) in
+  let out = Rows_ops.filter c schema Expr.(col "a" <% int 10) rows in
+  Alcotest.(check int) "filtered" 10 (Array.length out)
+
+let test_project () =
+  let c = ctx () in
+  let schema = schema_ab "t" in
+  let rows = rows_of [ (1, 2); (3, 4) ] in
+  let out, out_schema = Rows_ops.project c schema [ "t.b" ] rows in
+  Alcotest.(check int) "arity" 1 (Schema.arity out_schema);
+  Alcotest.(check bool) "values" true (Value.equal out.(0).(0) (Value.Int 2))
+
+let test_limit () =
+  let c = ctx () in
+  let rows = rows_of (List.init 100 (fun i -> (i, i))) in
+  Alcotest.(check int) "limited" 7 (Array.length (Rows_ops.limit c 7 rows));
+  Alcotest.(check int) "under limit" 100 (Array.length (Rows_ops.limit c 200 rows))
+
+(* --- hash join vs reference nested loop --- *)
+
+let reference_join left right ~li ~ri =
+  List.concat_map
+    (fun lt ->
+       List.filter_map
+         (fun rt ->
+            if Value.equal lt.(li) rt.(ri) then Some (Tuple.concat lt rt)
+            else None)
+         (Array.to_list right))
+    (Array.to_list left)
+
+let test_hash_join_matches_reference () =
+  let c = ctx () in
+  let ls = schema_ab "l" and rs = schema_ab "r" in
+  let left = rows_of (List.init 50 (fun i -> (i mod 7, i))) in
+  let right = rows_of (List.init 30 (fun i -> (i mod 5, i * 10))) in
+  let r =
+    Join.hash_join c ~mem_pages:64 ~build:(right, rs) ~probe:(left, ls)
+      ~keys:[ ("l.a", "r.a") ] ()
+  in
+  let expect = reference_join left right ~li:0 ~ri:0 in
+  Alcotest.(check int) "row count" (List.length expect) (Array.length r.Join.rows);
+  Alcotest.(check (list (list string))) "rows match"
+    (sorted_pairs (Array.of_list expect))
+    (sorted_pairs r.Join.rows)
+
+let test_hash_join_one_pass_in_memory () =
+  let c = ctx () in
+  let ls = schema_ab "l" and rs = schema_ab "r" in
+  let left = rows_of [ (1, 1) ] and right = rows_of [ (1, 2) ] in
+  let r =
+    Join.hash_join c ~mem_pages:64 ~build:(right, rs) ~probe:(left, ls)
+      ~keys:[ ("l.a", "r.a") ] ()
+  in
+  Alcotest.(check int) "1 pass" 1 r.Join.passes;
+  Alcotest.(check int) "no spill writes" 0
+    (Sim_clock.counters c.Exec_ctx.clock).Sim_clock.writes
+
+let test_hash_join_spills_when_tight () =
+  let c = ctx () in
+  let ls = schema_ab "l" and rs = schema_ab "r" in
+  let big = rows_of (List.init 5000 (fun i -> (i, i))) in
+  let r =
+    Join.hash_join c ~mem_pages:2 ~build:(big, rs) ~probe:(big, ls)
+      ~keys:[ ("l.a", "r.a") ] ()
+  in
+  Alcotest.(check bool) "multi-pass" true (r.Join.passes > 1);
+  Alcotest.(check bool) "spill writes charged" true
+    ((Sim_clock.counters c.Exec_ctx.clock).Sim_clock.writes > 0);
+  Alcotest.(check int) "results still exact" 5000 (Array.length r.Join.rows)
+
+let test_hash_join_null_keys_dont_match () =
+  let c = ctx () in
+  let ls = schema_ab "l" and rs = schema_ab "r" in
+  let left = [| [| Value.Null; Value.Int 1 |] |] in
+  let right = [| [| Value.Null; Value.Int 2 |] |] in
+  let r =
+    Join.hash_join c ~mem_pages:8 ~build:(right, rs) ~probe:(left, ls)
+      ~keys:[ ("l.a", "r.a") ] ()
+  in
+  Alcotest.(check int) "nulls never join" 0 (Array.length r.Join.rows)
+
+let test_hash_join_residual () =
+  let c = ctx () in
+  let ls = schema_ab "l" and rs = schema_ab "r" in
+  let left = rows_of [ (1, 5); (1, 15) ] in
+  let right = rows_of [ (1, 0) ] in
+  let r =
+    Join.hash_join c ~mem_pages:8 ~build:(right, rs) ~probe:(left, ls)
+      ~keys:[ ("l.a", "r.a") ] ~extra:Expr.(col "l.b" <% int 10) ()
+  in
+  Alcotest.(check int) "residual filters" 1 (Array.length r.Join.rows)
+
+let test_index_nl_join_matches_reference () =
+  let c = ctx () in
+  let ls = schema_ab "l" in
+  let inner_schema = schema_ab "r" in
+  let heap = Heap_file.create inner_schema in
+  let bt = Btree.create () in
+  for i = 0 to 29 do
+    Heap_file.append heap [| Value.Int (i mod 5); Value.Int (i * 10) |];
+    Btree.insert bt (Value.Int (i mod 5)) i
+  done;
+  let outer = rows_of (List.init 50 (fun i -> (i mod 7, i))) in
+  let r =
+    Join.index_nl_join c ~outer:(outer, ls) ~inner_heap:heap ~inner_schema
+      ~inner_index:bt ~outer_col:"l.a" ()
+  in
+  let inner_rows = Array.init 30 (fun i -> Heap_file.get heap i) in
+  let expect = reference_join outer inner_rows ~li:0 ~ri:0 in
+  Alcotest.(check int) "row count" (List.length expect) (Array.length r.Join.rows);
+  Alcotest.(check bool) "random reads charged" true
+    ((Sim_clock.counters c.Exec_ctx.clock).Sim_clock.rand_reads > 0)
+
+let test_block_nl_join_cross () =
+  let c = ctx () in
+  let ls = schema_ab "l" and rs = schema_ab "r" in
+  let left = rows_of [ (1, 1); (2, 2) ] in
+  let right = rows_of [ (10, 10); (20, 20); (30, 30) ] in
+  let r = Join.block_nl_join c ~mem_pages:8 ~outer:(left, ls) ~inner:(right, rs) () in
+  Alcotest.(check int) "cross product" 6 (Array.length r.Join.rows)
+
+let test_block_nl_join_pred () =
+  let c = ctx () in
+  let ls = schema_ab "l" and rs = schema_ab "r" in
+  let left = rows_of (List.init 10 (fun i -> (i, i))) in
+  let right = rows_of (List.init 10 (fun i -> (i, i))) in
+  let r =
+    Join.block_nl_join c ~mem_pages:8 ~outer:(left, ls) ~inner:(right, rs)
+      ~pred:Expr.(col "l.a" <% col "r.a") ()
+  in
+  Alcotest.(check int) "strictly less pairs" 45 (Array.length r.Join.rows)
+
+(* --- merge join --- *)
+
+module Merge_join = Mqr_exec.Merge_join
+
+let test_merge_join_matches_reference () =
+  let c = ctx () in
+  let ls = schema_ab "l" and rs = schema_ab "r" in
+  let left = rows_of (List.init 50 (fun i -> (i mod 7, i))) in
+  let right = rows_of (List.init 30 (fun i -> (i mod 5, i * 10))) in
+  let r =
+    Merge_join.merge_join c ~mem_pages:64 ~left:(left, ls) ~right:(right, rs)
+      ~keys:[ ("l.a", "r.a") ] ()
+  in
+  let expect = reference_join left right ~li:0 ~ri:0 in
+  Alcotest.(check int) "row count" (List.length expect)
+    (Array.length r.Merge_join.rows);
+  Alcotest.(check (list (list string))) "rows match"
+    (sorted_pairs (Array.of_list expect))
+    (sorted_pairs r.Merge_join.rows)
+
+let test_merge_join_duplicates_both_sides () =
+  let c = ctx () in
+  let ls = schema_ab "l" and rs = schema_ab "r" in
+  let left = rows_of [ (1, 0); (1, 1); (2, 2) ] in
+  let right = rows_of [ (1, 10); (1, 11); (1, 12); (3, 13) ] in
+  let r =
+    Merge_join.merge_join c ~mem_pages:16 ~left:(left, ls) ~right:(right, rs)
+      ~keys:[ ("l.a", "r.a") ] ()
+  in
+  Alcotest.(check int) "2x3 pairs" 6 (Array.length r.Merge_join.rows)
+
+let test_merge_join_nulls () =
+  let c = ctx () in
+  let ls = schema_ab "l" and rs = schema_ab "r" in
+  let left = [| [| Value.Null; Value.Int 1 |]; [| Value.Int 1; Value.Int 2 |] |] in
+  let right = [| [| Value.Null; Value.Int 3 |]; [| Value.Int 1; Value.Int 4 |] |] in
+  let r =
+    Merge_join.merge_join c ~mem_pages:16 ~left:(left, ls) ~right:(right, rs)
+      ~keys:[ ("l.a", "r.a") ] ()
+  in
+  Alcotest.(check int) "null keys skipped" 1 (Array.length r.Merge_join.rows)
+
+let test_merge_join_residual () =
+  let c = ctx () in
+  let ls = schema_ab "l" and rs = schema_ab "r" in
+  let left = rows_of [ (1, 5); (1, 15) ] in
+  let right = rows_of [ (1, 0) ] in
+  let r =
+    Merge_join.merge_join c ~mem_pages:16 ~left:(left, ls) ~right:(right, rs)
+      ~keys:[ ("l.a", "r.a") ] ~extra:Expr.(col "l.b" <% int 10) ()
+  in
+  Alcotest.(check int) "residual filters" 1 (Array.length r.Merge_join.rows)
+
+let test_merge_join_external_charges () =
+  let c = ctx () in
+  let ls = schema_ab "l" and rs = schema_ab "r" in
+  let big = rows_of (List.init 4000 (fun i -> (i, i))) in
+  let r =
+    Merge_join.merge_join c ~mem_pages:4 ~left:(big, ls) ~right:(big, rs)
+      ~keys:[ ("l.a", "r.a") ] ()
+  in
+  Alcotest.(check bool) "left external" true (r.Merge_join.left_passes > 1);
+  Alcotest.(check bool) "spill charged" true
+    ((Sim_clock.counters c.Exec_ctx.clock).Sim_clock.writes > 0);
+  Alcotest.(check int) "exact rows" 4000 (Array.length r.Merge_join.rows)
+
+let prop_merge_join_equals_hash_join =
+  QCheck.Test.make ~name:"merge join = hash join" ~count:100
+    QCheck.(pair (list_of_size (Gen.int_range 0 50) (int_range 0 6))
+              (list_of_size (Gen.int_range 0 50) (int_range 0 6)))
+    (fun (lks, rks) ->
+       let c = ctx () in
+       let ls = schema_ab "l" and rs = schema_ab "r" in
+       let left = rows_of (List.mapi (fun i k -> (k, i)) lks) in
+       let right = rows_of (List.mapi (fun i k -> (k, i + 500)) rks) in
+       let m =
+         Merge_join.merge_join c ~mem_pages:8 ~left:(left, ls)
+           ~right:(right, rs) ~keys:[ ("l.a", "r.a") ] ()
+       in
+       let h =
+         Join.hash_join c ~mem_pages:8 ~build:(right, rs) ~probe:(left, ls)
+           ~keys:[ ("l.a", "r.a") ] ()
+       in
+       sorted_pairs m.Merge_join.rows = sorted_pairs h.Join.rows)
+
+(* --- sort --- *)
+
+let test_sort_orders () =
+  let c = ctx () in
+  let schema = schema_ab "t" in
+  let rows = rows_of [ (3, 1); (1, 2); (2, 3) ] in
+  let r = Sort.sort c ~mem_pages:16 schema ~keys:[ ("t.a", true) ] rows in
+  let keys = Array.to_list (Array.map (fun t -> Value.to_string t.(0)) r.Sort.rows) in
+  Alcotest.(check (list string)) "ascending" [ "1"; "2"; "3" ] keys
+
+let test_sort_desc_and_secondary () =
+  let c = ctx () in
+  let schema = schema_ab "t" in
+  let rows = rows_of [ (1, 5); (2, 1); (1, 9); (2, 3) ] in
+  let r =
+    Sort.sort c ~mem_pages:16 schema ~keys:[ ("t.a", false); ("t.b", true) ] rows
+  in
+  let pairs =
+    Array.to_list
+      (Array.map (fun t -> (Value.to_string t.(0), Value.to_string t.(1))) r.Sort.rows)
+  in
+  Alcotest.(check (list (pair string string))) "desc then asc"
+    [ ("2", "1"); ("2", "3"); ("1", "5"); ("1", "9") ]
+    pairs
+
+let test_sort_passes () =
+  Alcotest.(check int) "fits" 1 (Sort.sort_passes ~mem_pages:10 ~data_pages:5);
+  Alcotest.(check int) "one merge" 2 (Sort.sort_passes ~mem_pages:10 ~data_pages:50);
+  Alcotest.(check bool) "deep merge" true
+    (Sort.sort_passes ~mem_pages:3 ~data_pages:100 > 2)
+
+let test_external_sort_charges () =
+  let c = ctx () in
+  let schema = schema_ab "t" in
+  let rows = rows_of (List.init 5000 (fun i -> (5000 - i, i))) in
+  let r = Sort.sort c ~mem_pages:2 schema ~keys:[ ("t.a", true) ] rows in
+  Alcotest.(check bool) "multi-pass" true (r.Sort.passes > 1);
+  Alcotest.(check bool) "spill charged" true
+    ((Sim_clock.counters c.Exec_ctx.clock).Sim_clock.writes > 0);
+  (* still exactly sorted *)
+  let ok = ref true in
+  for i = 0 to Array.length r.Sort.rows - 2 do
+    if Value.compare r.Sort.rows.(i).(0) r.Sort.rows.(i + 1).(0) > 0 then ok := false
+  done;
+  Alcotest.(check bool) "sorted" true !ok
+
+(* --- aggregate --- *)
+
+let test_aggregate_group_sums () =
+  let c = ctx () in
+  let schema = schema_ab "t" in
+  let rows = rows_of (List.init 100 (fun i -> (i mod 4, i))) in
+  let aggs =
+    [ { Aggregate.fn = Aggregate.Sum; distinct_arg = false; arg = Some (Expr.col "t.b"); out_name = "s" };
+      { Aggregate.fn = Aggregate.Count; distinct_arg = false; arg = None; out_name = "n" } ]
+  in
+  let r = Aggregate.hash_aggregate c ~mem_pages:16 schema ~group_by:[ "t.a" ] ~aggs rows in
+  Alcotest.(check int) "4 groups" 4 (Array.length r.Aggregate.rows);
+  Array.iter
+    (fun t ->
+       let n = match t.(2) with Value.Int n -> n | _ -> -1 in
+       Alcotest.(check int) "25 per group" 25 n)
+    r.Aggregate.rows
+
+let test_aggregate_global_empty () =
+  let c = ctx () in
+  let schema = schema_ab "t" in
+  let aggs = [ { Aggregate.fn = Aggregate.Count; distinct_arg = false; arg = None; out_name = "n" } ] in
+  let r = Aggregate.hash_aggregate c ~mem_pages:16 schema ~group_by:[] ~aggs [||] in
+  Alcotest.(check int) "one row" 1 (Array.length r.Aggregate.rows);
+  Alcotest.(check bool) "count 0" true
+    (Value.equal r.Aggregate.rows.(0).(0) (Value.Int 0))
+
+let test_aggregate_avg_min_max () =
+  let c = ctx () in
+  let schema = schema_ab "t" in
+  let rows = rows_of [ (0, 10); (0, 20); (0, 30) ] in
+  let aggs =
+    [ { Aggregate.fn = Aggregate.Avg; distinct_arg = false; arg = Some (Expr.col "t.b"); out_name = "avg" };
+      { Aggregate.fn = Aggregate.Min; distinct_arg = false; arg = Some (Expr.col "t.b"); out_name = "min" };
+      { Aggregate.fn = Aggregate.Max; distinct_arg = false; arg = Some (Expr.col "t.b"); out_name = "max" } ]
+  in
+  let r = Aggregate.hash_aggregate c ~mem_pages:16 schema ~group_by:[] ~aggs rows in
+  let t = r.Aggregate.rows.(0) in
+  Alcotest.(check bool) "avg" true (Value.equal t.(0) (Value.Float 20.0));
+  Alcotest.(check bool) "min" true (Value.equal t.(1) (Value.Int 10));
+  Alcotest.(check bool) "max" true (Value.equal t.(2) (Value.Int 30))
+
+let test_aggregate_nulls_skipped () =
+  let c = ctx () in
+  let schema = schema_ab "t" in
+  let rows = [| [| Value.Int 0; Value.Null |]; [| Value.Int 0; Value.Int 4 |] |] in
+  let aggs =
+    [ { Aggregate.fn = Aggregate.Count; distinct_arg = false; arg = Some (Expr.col "t.b"); out_name = "n" };
+      { Aggregate.fn = Aggregate.Sum; distinct_arg = false; arg = Some (Expr.col "t.b"); out_name = "s" } ]
+  in
+  let r = Aggregate.hash_aggregate c ~mem_pages:16 schema ~group_by:[ "t.a" ] ~aggs rows in
+  let t = r.Aggregate.rows.(0) in
+  Alcotest.(check bool) "count non-null" true (Value.equal t.(1) (Value.Int 1));
+  Alcotest.(check bool) "sum skips null" true (Value.equal t.(2) (Value.Int 4))
+
+let test_sorted_aggregate_matches_hash () =
+  let c = ctx () in
+  let schema = schema_ab "t" in
+  let rows = rows_of (List.init 100 (fun i -> (i / 25, i))) in  (* grouped *)
+  let aggs =
+    [ { Aggregate.fn = Aggregate.Sum; distinct_arg = false; arg = Some (Expr.col "t.b"); out_name = "s" };
+      { Aggregate.fn = Aggregate.Count; distinct_arg = false; arg = None; out_name = "n" } ]
+  in
+  let h = Aggregate.hash_aggregate c ~mem_pages:16 schema ~group_by:[ "t.a" ] ~aggs rows in
+  let s = Aggregate.sorted_aggregate c schema ~group_by:[ "t.a" ] ~aggs rows in
+  Alcotest.(check (list (list string))) "same groups"
+    (sorted_pairs h.Aggregate.rows)
+    (sorted_pairs s.Aggregate.rows)
+
+let test_sorted_aggregate_global_empty () =
+  let c = ctx () in
+  let schema = schema_ab "t" in
+  let aggs = [ { Aggregate.fn = Aggregate.Count; distinct_arg = false; arg = None; out_name = "n" } ] in
+  let r = Aggregate.sorted_aggregate c schema ~group_by:[] ~aggs [||] in
+  Alcotest.(check int) "one row" 1 (Array.length r.Aggregate.rows)
+
+let test_merge_join_presorted_skips_sort_cost () =
+  let c1 = ctx () and c2 = ctx () in
+  let ls = schema_ab "l" and rs = schema_ab "r" in
+  let rows = rows_of (List.init 3000 (fun i -> (i, i))) in  (* already sorted *)
+  let run c ~flags =
+    ignore
+      (Merge_join.merge_join c ~mem_pages:3
+         ?left_sorted:(Some (fst flags)) ?right_sorted:(Some (snd flags))
+         ~left:(rows, ls) ~right:(rows, rs) ~keys:[ ("l.a", "r.a") ] ())
+  in
+  run c1 ~flags:(false, false);
+  run c2 ~flags:(true, true);
+  let cost c = Sim_clock.elapsed_ms c.Exec_ctx.clock in
+  Alcotest.(check bool) "presorted cheaper" true (cost c2 < cost c1)
+
+(* --- collector --- *)
+
+let test_collector_counters () =
+  let c = ctx () in
+  let schema = schema_ab "t" in
+  let rows = rows_of (List.init 500 (fun i -> (i mod 20, i))) in
+  let obs = Collector.collect c schema (Collector.spec ()) rows in
+  Alcotest.(check int) "rows" 500 obs.Collector.rows;
+  match List.assoc_opt "t.a" obs.Collector.col_ranges with
+  | Some (lo, hi) ->
+    Alcotest.(check bool) "min" true (Value.equal lo (Value.Int 0));
+    Alcotest.(check bool) "max" true (Value.equal hi (Value.Int 19))
+  | None -> Alcotest.fail "no range"
+
+let test_collector_histogram () =
+  let c = ctx () in
+  let schema = schema_ab "t" in
+  let rows = rows_of (List.init 2000 (fun i -> (i mod 10, i))) in
+  let spec = Collector.spec ~hist_cols:[ "t.a" ] () in
+  let obs = Collector.collect c schema spec rows in
+  match List.assoc_opt "t.a" obs.Collector.histograms with
+  | Some h ->
+    Alcotest.(check (float 20.0)) "scaled to stream" 2000.0 (Histogram.total_rows h);
+    let s = Histogram.est_eq h 3.0 in
+    Alcotest.(check bool) (Printf.sprintf "eq sel %.3f ~ 0.1" s) true
+      (Float.abs (s -. 0.1) < 0.05)
+  | None -> Alcotest.fail "no histogram"
+
+let test_collector_distinct () =
+  let c = ctx () in
+  let schema = schema_ab "t" in
+  let rows = rows_of (List.init 1000 (fun i -> (i mod 37, i))) in
+  let spec = Collector.spec ~distinct_cols:[ "t.a" ] () in
+  let obs = Collector.collect c schema spec rows in
+  match List.assoc_opt "t.a" obs.Collector.distincts with
+  | Some d -> Alcotest.(check bool) "37" true (Float.abs (d -. 37.0) < 2.0)
+  | None -> Alcotest.fail "no distinct"
+
+let test_collector_cost_budgeting () =
+  let base = Collector.estimated_cost_ms (Collector.spec ()) ~rows:1000.0 in
+  let loaded =
+    Collector.estimated_cost_ms
+      (Collector.spec ~hist_cols:[ "a" ] ~distinct_cols:[ "b" ] ())
+      ~rows:1000.0
+  in
+  Alcotest.(check bool) "stats cost more" true (loaded > base);
+  Alcotest.(check (float 1e-9)) "formula"
+    (1000.0 *. (Collector.base_tuple_ms +. (2.0 *. Collector.stat_tuple_ms)))
+    loaded
+
+let test_collector_to_column_stats () =
+  let c = ctx () in
+  let schema = schema_ab "t" in
+  let rows = rows_of (List.init 100 (fun i -> (i, i))) in
+  let spec = Collector.spec ~hist_cols:[ "t.a" ] ~distinct_cols:[ "t.a" ] () in
+  let obs = Collector.collect c schema spec rows in
+  let st = Collector.column_stats_of_observed obs ~column:"t.a" in
+  Alcotest.(check bool) "has histogram" true
+    (st.Mqr_catalog.Column_stats.histogram <> None);
+  Alcotest.(check bool) "has distinct" true
+    (st.Mqr_catalog.Column_stats.distinct <> None)
+
+let prop_hash_join_equals_nested_loop =
+  QCheck.Test.make ~name:"hash join = nested loop" ~count:100
+    QCheck.(pair (list_of_size (Gen.int_range 0 60) (int_range 0 8))
+              (list_of_size (Gen.int_range 0 60) (int_range 0 8)))
+    (fun (lks, rks) ->
+       let c = ctx () in
+       let ls = schema_ab "l" and rs = schema_ab "r" in
+       let left = rows_of (List.mapi (fun i k -> (k, i)) lks) in
+       let right = rows_of (List.mapi (fun i k -> (k, i + 1000)) rks) in
+       let r =
+         Join.hash_join c ~mem_pages:4 ~build:(right, rs) ~probe:(left, ls)
+           ~keys:[ ("l.a", "r.a") ] ()
+       in
+       let expect = reference_join left right ~li:0 ~ri:0 in
+       sorted_pairs r.Join.rows = sorted_pairs (Array.of_list expect))
+
+let suite =
+  [ Alcotest.test_case "seq scan" `Quick test_seq_scan;
+    Alcotest.test_case "index scan" `Quick test_index_scan;
+    Alcotest.test_case "filter" `Quick test_filter;
+    Alcotest.test_case "project" `Quick test_project;
+    Alcotest.test_case "limit" `Quick test_limit;
+    Alcotest.test_case "hash join = reference" `Quick test_hash_join_matches_reference;
+    Alcotest.test_case "hash join 1 pass" `Quick test_hash_join_one_pass_in_memory;
+    Alcotest.test_case "hash join spills" `Quick test_hash_join_spills_when_tight;
+    Alcotest.test_case "hash join null keys" `Quick test_hash_join_null_keys_dont_match;
+    Alcotest.test_case "hash join residual" `Quick test_hash_join_residual;
+    Alcotest.test_case "index nl join = reference" `Quick test_index_nl_join_matches_reference;
+    Alcotest.test_case "block nl cross" `Quick test_block_nl_join_cross;
+    Alcotest.test_case "block nl pred" `Quick test_block_nl_join_pred;
+    Alcotest.test_case "merge join = reference" `Quick test_merge_join_matches_reference;
+    Alcotest.test_case "merge join duplicates" `Quick test_merge_join_duplicates_both_sides;
+    Alcotest.test_case "merge join nulls" `Quick test_merge_join_nulls;
+    Alcotest.test_case "merge join residual" `Quick test_merge_join_residual;
+    Alcotest.test_case "merge join external" `Quick test_merge_join_external_charges;
+    QCheck_alcotest.to_alcotest prop_merge_join_equals_hash_join;
+    Alcotest.test_case "sort orders" `Quick test_sort_orders;
+    Alcotest.test_case "sort desc+secondary" `Quick test_sort_desc_and_secondary;
+    Alcotest.test_case "sort passes" `Quick test_sort_passes;
+    Alcotest.test_case "external sort charges" `Quick test_external_sort_charges;
+    Alcotest.test_case "aggregate group sums" `Quick test_aggregate_group_sums;
+    Alcotest.test_case "aggregate global empty" `Quick test_aggregate_global_empty;
+    Alcotest.test_case "aggregate avg/min/max" `Quick test_aggregate_avg_min_max;
+    Alcotest.test_case "aggregate nulls" `Quick test_aggregate_nulls_skipped;
+    Alcotest.test_case "sorted agg = hash agg" `Quick test_sorted_aggregate_matches_hash;
+    Alcotest.test_case "sorted agg empty" `Quick test_sorted_aggregate_global_empty;
+    Alcotest.test_case "presorted merge join cheaper" `Quick test_merge_join_presorted_skips_sort_cost;
+    Alcotest.test_case "collector counters" `Quick test_collector_counters;
+    Alcotest.test_case "collector histogram" `Quick test_collector_histogram;
+    Alcotest.test_case "collector distinct" `Quick test_collector_distinct;
+    Alcotest.test_case "collector cost" `Quick test_collector_cost_budgeting;
+    Alcotest.test_case "collector to column stats" `Quick test_collector_to_column_stats;
+    QCheck_alcotest.to_alcotest prop_hash_join_equals_nested_loop ]

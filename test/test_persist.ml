@@ -1,0 +1,236 @@
+(* CSV codec, catalog persistence round-trips, DDL/COPY/ANALYZE statements. *)
+open Mqr_storage
+module Catalog = Mqr_catalog.Catalog
+module Column_stats = Mqr_catalog.Column_stats
+module Persist = Mqr_catalog.Persist
+module Engine = Mqr_core.Engine
+module Dispatcher = Mqr_core.Dispatcher
+module Histogram = Mqr_stats.Histogram
+
+(* --- CSV --- *)
+
+let test_csv_roundtrip_line () =
+  List.iter
+    (fun fields ->
+       Alcotest.(check (list string)) "roundtrip" fields
+         (Csv.decode_line (Csv.encode_line fields)))
+    [ [ "a"; "b"; "c" ];
+      [ "has,comma"; "has\"quote"; "has\nnewline" ];
+      [ ""; ""; "" ];
+      [ "plain" ];
+      [ "\"quoted at start"; "trailing\"" ] ]
+
+let test_csv_file_roundtrip () =
+  let path = Filename.temp_file "mqr_csv" ".csv" in
+  let records =
+    [ [ "1"; "hello, world"; "x" ]; [ "2"; "line\nbreak"; "\"q\"" ]; [ "3"; ""; "z" ] ]
+  in
+  Csv.write_file path records;
+  let back = Csv.read_file path in
+  Sys.remove path;
+  Alcotest.(check (list (list string))) "file roundtrip" records back
+
+let prop_csv_roundtrip =
+  QCheck.Test.make ~name:"csv line roundtrip" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 6) (string_gen_of_size (Gen.int_range 0 20) Gen.printable))
+    (fun fields ->
+       (* \r is normalized away by the decoder, as in RFC 4180 line ends *)
+       let fields = List.map (String.map (fun c -> if c = '\r' then ' ' else c)) fields in
+       Csv.decode_line (Csv.encode_line fields) = fields)
+
+let test_csv_empty_file () =
+  let path = Filename.temp_file "mqr_csv" ".csv" in
+  Csv.write_file path [];
+  Alcotest.(check (list (list string))) "empty" [] (Csv.read_file path);
+  Sys.remove path
+
+let test_csv_unterminated_quote () =
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Csv.decode_line "\"abc");
+       false
+     with Failure _ -> true)
+
+(* --- persistence --- *)
+
+let sample_catalog () =
+  let catalog = Catalog.create () in
+  let schema =
+    Schema.make
+      [ Schema.col "id" Value.TInt;
+        Schema.col ~width:12 "tag" Value.TString;
+        Schema.col "score" Value.TFloat;
+        Schema.col "day" Value.TDate ]
+  in
+  let heap = Heap_file.create schema in
+  for i = 0 to 99 do
+    Heap_file.append heap
+      [| Value.Int i;
+         (if i mod 10 = 0 then Value.Null else Value.String (Printf.sprintf "t%d" (i mod 3)));
+         Value.Float (float_of_int i /. 7.0);
+         Value.Date (9000 + i) |]
+  done;
+  ignore (Catalog.add_table catalog "things" heap);
+  Catalog.analyze_table ~keys:[ "id" ] catalog "things";
+  ignore (Catalog.create_index catalog ~table:"things" ~column:"id");
+  (* include degradations so they round-trip too *)
+  Catalog.degrade_scale_cardinality catalog ~table:"things" 0.5;
+  Catalog.degrade_mark_stale catalog ~table:"things" ~column:"score";
+  catalog
+
+let temp_dir () =
+  let d = Filename.temp_file "mqr_db" "" in
+  Sys.remove d;
+  d
+
+let test_persist_roundtrip_data () =
+  let catalog = sample_catalog () in
+  let dir = temp_dir () in
+  Persist.save catalog ~dir;
+  let back = Persist.load ~dir in
+  let tbl0 = Catalog.find_exn catalog "things" in
+  let tbl1 = Catalog.find_exn back "things" in
+  Alcotest.(check int) "rows" (Heap_file.tuple_count tbl0.Catalog.heap)
+    (Heap_file.tuple_count tbl1.Catalog.heap);
+  Alcotest.(check int) "believed rows preserved" tbl0.Catalog.believed_rows
+    tbl1.Catalog.believed_rows;
+  for rid = 0 to Heap_file.tuple_count tbl0.Catalog.heap - 1 do
+    if not (Tuple.equal (Heap_file.get tbl0.Catalog.heap rid)
+              (Heap_file.get tbl1.Catalog.heap rid))
+    then Alcotest.failf "tuple %d differs" rid
+  done
+
+let test_persist_roundtrip_stats () =
+  let catalog = sample_catalog () in
+  let dir = temp_dir () in
+  Persist.save catalog ~dir;
+  let back = Persist.load ~dir in
+  let tbl0 = Catalog.find_exn catalog "things" in
+  let tbl1 = Catalog.find_exn back "things" in
+  let st0 = Option.get (Catalog.column_stats tbl0 "score") in
+  let st1 = Option.get (Catalog.column_stats tbl1 "score") in
+  Alcotest.(check bool) "stale preserved" st0.Column_stats.stale
+    st1.Column_stats.stale;
+  Alcotest.(check bool) "key flag" true
+    (Option.get (Catalog.column_stats tbl1 "id")).Column_stats.is_key;
+  (match st0.Column_stats.histogram, st1.Column_stats.histogram with
+   | Some h0, Some h1 ->
+     Alcotest.(check (float 0.01)) "hist rows" (Histogram.total_rows h0)
+       (Histogram.total_rows h1);
+     Alcotest.(check bool) "kind" true (Histogram.kind h0 = Histogram.kind h1);
+     Alcotest.(check (float 1e-6)) "range estimate equal"
+       (Histogram.est_range h0 ~lo:(Some (2.0, true)) ~hi:(Some (8.0, true)))
+       (Histogram.est_range h1 ~lo:(Some (2.0, true)) ~hi:(Some (8.0, true)))
+   | _ -> Alcotest.fail "histogram lost");
+  (* string dictionary survives *)
+  let tag0 = Option.get (Catalog.column_stats tbl0 "tag") in
+  let tag1 = Option.get (Catalog.column_stats tbl1 "tag") in
+  Alcotest.(check bool) "dict" true
+    (tag0.Column_stats.dict = tag1.Column_stats.dict)
+
+let test_persist_roundtrip_queries () =
+  let catalog = sample_catalog () in
+  let dir = temp_dir () in
+  Persist.save catalog ~dir;
+  let back = Persist.load ~dir in
+  let sql = "select tag, count(*) as n from things where id < 50 group by tag" in
+  let r0 = Engine.run_sql (Engine.create catalog) sql in
+  let r1 = Engine.run_sql (Engine.create back) sql in
+  Alcotest.(check (list (list string))) "same result"
+    (Reference.canonical r0.Dispatcher.rows)
+    (Reference.canonical r1.Dispatcher.rows);
+  (* indexes were rebuilt *)
+  let tbl1 = Catalog.find_exn back "things" in
+  Alcotest.(check bool) "index present" true
+    (Catalog.find_index tbl1 ~column:"id" <> None)
+
+let test_persist_corrupt () =
+  let dir = temp_dir () in
+  Sys.mkdir dir 0o755;
+  Csv.write_file (Filename.concat dir "tables.csv") [ [ "ghost" ] ];
+  Alcotest.(check bool) "missing table files" true
+    (try
+       ignore (Persist.load ~dir);
+       false
+     with Persist.Corrupt _ | Sys_error _ -> true)
+
+(* --- DDL / COPY / ANALYZE statements --- *)
+
+let test_create_table_and_insert () =
+  let engine = Engine.create (Catalog.create ()) in
+  (match Engine.execute engine
+           "create table pets (name string(20), age int, seen date)" with
+   | Engine.Created "pets" -> ()
+   | _ -> Alcotest.fail "create table");
+  (match Engine.execute engine
+           "insert into pets values ('rex', 3, date '2020-05-01')" with
+   | Engine.Modified { count = 1; _ } -> ()
+   | _ -> Alcotest.fail "insert into created table");
+  let r = Engine.run_sql engine "select name from pets where age = 3" in
+  Alcotest.(check int) "one pet" 1 (Array.length r.Dispatcher.rows)
+
+let test_create_index_statement () =
+  let engine = Engine.create (Catalog.create ()) in
+  ignore (Engine.execute engine "create table nums (k int, v int)");
+  ignore (Engine.execute engine "insert into nums values (1, 10), (2, 20)");
+  (match Engine.execute engine "create index on nums (k)" with
+   | Engine.Created "nums.k" -> ()
+   | _ -> Alcotest.fail "create index");
+  let catalog = Engine.catalog engine in
+  let tbl = Catalog.find_exn catalog "nums" in
+  Alcotest.(check bool) "index exists" true
+    (Catalog.find_index tbl ~column:"k" <> None)
+
+let test_copy_statement () =
+  let engine = Engine.create (Catalog.create ()) in
+  ignore (Engine.execute engine "create table pts (x int, y float, lbl string)");
+  let path = Filename.temp_file "mqr_copy" ".csv" in
+  Csv.write_file path
+    [ [ "1"; "2.5"; "alpha" ]; [ "2"; "3.5"; "beta, with comma" ]; [ "3"; ""; "" ] ];
+  (match Engine.execute engine (Printf.sprintf "copy pts from '%s'" path) with
+   | Engine.Modified { count = 3; _ } -> ()
+   | _ -> Alcotest.fail "copy count");
+  Sys.remove path;
+  let r = Engine.run_sql engine "select x from pts where y > 3.0" in
+  Alcotest.(check int) "filtered" 1 (Array.length r.Dispatcher.rows);
+  (* empty float field became NULL and never matches *)
+  let r2 = Engine.run_sql engine "select x from pts" in
+  Alcotest.(check int) "all rows" 3 (Array.length r2.Dispatcher.rows)
+
+let test_analyze_statement () =
+  let engine = Engine.create (Catalog.create ()) in
+  ignore (Engine.execute engine "create table zz (a int)");
+  ignore (Engine.execute engine "insert into zz values (1), (2), (3)");
+  (match Engine.execute engine "analyze zz" with
+   | Engine.Analyzed "zz" -> ()
+   | _ -> Alcotest.fail "analyze");
+  let tbl = Catalog.find_exn (Engine.catalog engine) "zz" in
+  Alcotest.(check int) "believed rows updated" 3 tbl.Catalog.believed_rows
+
+let test_copy_bad_field () =
+  let engine = Engine.create (Catalog.create ()) in
+  ignore (Engine.execute engine "create table q (a int)");
+  let path = Filename.temp_file "mqr_copy" ".csv" in
+  Csv.write_file path [ [ "not-an-int" ] ];
+  Alcotest.(check bool) "rejects bad field" true
+    (try
+       ignore (Engine.execute engine (Printf.sprintf "copy q from '%s'" path));
+       false
+     with Engine.Dml_error _ -> true);
+  Sys.remove path
+
+let suite =
+  [ Alcotest.test_case "csv line roundtrip" `Quick test_csv_roundtrip_line;
+    Alcotest.test_case "csv file roundtrip" `Quick test_csv_file_roundtrip;
+    QCheck_alcotest.to_alcotest prop_csv_roundtrip;
+    Alcotest.test_case "csv empty file" `Quick test_csv_empty_file;
+    Alcotest.test_case "csv unterminated quote" `Quick test_csv_unterminated_quote;
+    Alcotest.test_case "persist data" `Quick test_persist_roundtrip_data;
+    Alcotest.test_case "persist stats" `Quick test_persist_roundtrip_stats;
+    Alcotest.test_case "persist queries" `Quick test_persist_roundtrip_queries;
+    Alcotest.test_case "persist corrupt" `Quick test_persist_corrupt;
+    Alcotest.test_case "create table" `Quick test_create_table_and_insert;
+    Alcotest.test_case "create index" `Quick test_create_index_statement;
+    Alcotest.test_case "copy" `Quick test_copy_statement;
+    Alcotest.test_case "analyze statement" `Quick test_analyze_statement;
+    Alcotest.test_case "copy bad field" `Quick test_copy_bad_field ]

@@ -1,0 +1,153 @@
+(* Rng, Zipf, Reservoir, Distinct. *)
+module Rng = Mqr_stats.Rng
+module Zipf = Mqr_stats.Zipf
+module Reservoir = Mqr_stats.Reservoir
+module Distinct = Mqr_stats.Distinct
+module Value = Mqr_storage.Value
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_rng_float_unit () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 10_000 do
+    let f = Rng.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_zipf_probs_sum () =
+  let z = Zipf.create ~n:50 ~z:0.6 in
+  let total = List.fold_left ( +. ) 0.0 (List.init 50 (fun i -> Zipf.prob z (i + 1))) in
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 total
+
+let test_zipf_monotone () =
+  let z = Zipf.create ~n:100 ~z:0.6 in
+  for i = 1 to 99 do
+    if Zipf.prob z i < Zipf.prob z (i + 1) -. 1e-12 then
+      Alcotest.failf "prob not monotone at %d" i
+  done
+
+let test_zipf_uniform_when_zero () =
+  let z = Zipf.create ~n:10 ~z:0.0 in
+  for i = 1 to 10 do
+    Alcotest.(check (float 1e-9)) "uniform" 0.1 (Zipf.prob z i)
+  done
+
+let test_zipf_sampling_skew () =
+  let z = Zipf.create ~n:100 ~z:1.0 in
+  let rng = Rng.create 5 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let i = Zipf.sample_index z rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "rank 1 much more frequent than rank 50" true
+    (counts.(0) > 5 * max 1 counts.(49))
+
+let test_reservoir_small_stream () =
+  let r = Reservoir.create ~capacity:100 () in
+  List.iter (Reservoir.add r) [ 1; 2; 3 ];
+  Alcotest.(check int) "seen" 3 (Reservoir.seen r);
+  Alcotest.(check int) "sample size" 3 (Array.length (Reservoir.sample r))
+
+let test_reservoir_capacity_bound () =
+  let r = Reservoir.create ~capacity:50 () in
+  for i = 1 to 10_000 do
+    Reservoir.add r i
+  done;
+  Alcotest.(check int) "seen" 10_000 (Reservoir.seen r);
+  Alcotest.(check int) "capped" 50 (Array.length (Reservoir.sample r))
+
+let test_reservoir_uniformish () =
+  (* mean of a uniform 1..n stream sample should be near n/2 *)
+  let n = 20_000 in
+  let r = Reservoir.create ~rng:(Rng.create 3) ~capacity:500 () in
+  for i = 1 to n do
+    Reservoir.add r i
+  done;
+  let s = Reservoir.sample r in
+  let mean =
+    Array.fold_left (fun a x -> a +. float_of_int x) 0.0 s
+    /. float_of_int (Array.length s)
+  in
+  Alcotest.(check bool) "mean within 15% of n/2" true
+    (Float.abs (mean -. (float_of_int n /. 2.0)) < 0.15 *. float_of_int n)
+
+let test_distinct_exact () =
+  let d = Distinct.create () in
+  List.iter (fun i -> Distinct.add d (Value.Int (i mod 37))) (List.init 1000 Fun.id);
+  Alcotest.(check bool) "exact" true (Distinct.is_exact d);
+  Alcotest.(check (float 0.01)) "37 distinct" 37.0 (Distinct.estimate d)
+
+let test_distinct_fm_accuracy () =
+  let d = Distinct.create ~exact_limit:100 () in
+  let n = 50_000 in
+  for i = 1 to n do
+    Distinct.add d (Value.Int i)
+  done;
+  Alcotest.(check bool) "overflowed to sketch" true (not (Distinct.is_exact d));
+  let est = Distinct.estimate d in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.0f within 2.5x of %d" est n)
+    true
+    (est > float_of_int n /. 2.5 && est < float_of_int n *. 2.5)
+
+let test_distinct_repeats_ignored () =
+  let d = Distinct.create () in
+  for _ = 1 to 10_000 do
+    Distinct.add d (Value.String "same")
+  done;
+  Alcotest.(check (float 0.01)) "one distinct" 1.0 (Distinct.estimate d)
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:300
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+       let rng = Rng.create seed in
+       let v = Rng.int rng bound in
+       v >= 0 && v < bound)
+
+let prop_reservoir_size =
+  QCheck.Test.make ~name:"reservoir size = min(seen, capacity)" ~count:200
+    QCheck.(pair (int_range 1 200) (int_range 0 500))
+    (fun (cap, n) ->
+       let r = Reservoir.create ~capacity:cap () in
+       for i = 1 to n do
+         Reservoir.add r i
+       done;
+       Array.length (Reservoir.sample r) = min cap n)
+
+let suite =
+  [ Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng float in [0,1)" `Quick test_rng_float_unit;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "zipf probs sum" `Quick test_zipf_probs_sum;
+    Alcotest.test_case "zipf monotone" `Quick test_zipf_monotone;
+    Alcotest.test_case "zipf z=0 uniform" `Quick test_zipf_uniform_when_zero;
+    Alcotest.test_case "zipf sampling skew" `Quick test_zipf_sampling_skew;
+    Alcotest.test_case "reservoir small stream" `Quick test_reservoir_small_stream;
+    Alcotest.test_case "reservoir capacity" `Quick test_reservoir_capacity_bound;
+    Alcotest.test_case "reservoir uniform-ish" `Quick test_reservoir_uniformish;
+    Alcotest.test_case "distinct exact" `Quick test_distinct_exact;
+    Alcotest.test_case "distinct FM accuracy" `Quick test_distinct_fm_accuracy;
+    Alcotest.test_case "distinct repeats" `Quick test_distinct_repeats_ignored;
+    QCheck_alcotest.to_alcotest prop_rng_int_in_bounds;
+    QCheck_alcotest.to_alcotest prop_reservoir_size ]

@@ -1,0 +1,118 @@
+open Mqr_storage
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let test_compare_ints () =
+  check_bool "1 < 2" true (Value.compare (Value.Int 1) (Value.Int 2) < 0);
+  check_bool "2 > 1" true (Value.compare (Value.Int 2) (Value.Int 1) > 0);
+  check_int "eq" 0 (Value.compare (Value.Int 5) (Value.Int 5))
+
+let test_compare_mixed_numeric () =
+  check_int "int vs equal float" 0
+    (Value.compare (Value.Int 3) (Value.Float 3.0));
+  check_bool "int < float" true
+    (Value.compare (Value.Int 3) (Value.Float 3.5) < 0);
+  check_bool "float > int" true
+    (Value.compare (Value.Float 3.5) (Value.Int 3) > 0)
+
+let test_null_sorts_first () =
+  check_bool "null < int" true (Value.compare Value.Null (Value.Int (-100)) < 0);
+  check_bool "null = null" true (Value.compare Value.Null Value.Null = 0)
+
+let test_incompatible_compare () =
+  Alcotest.check_raises "string vs int"
+    (Invalid_argument "Value.compare: incompatible types") (fun () ->
+      ignore (Value.compare (Value.String "a") (Value.Int 1)))
+
+let test_hash_numeric_consistency () =
+  check_int "hash int = hash equal float" (Value.hash (Value.Int 7))
+    (Value.hash (Value.Float 7.0))
+
+let test_date_roundtrip () =
+  List.iter
+    (fun s ->
+       match Value.date_of_string s with
+       | Value.Date d -> check_string s s (Value.date_to_string d)
+       | _ -> Alcotest.fail "not a date")
+    [ "1992-01-01"; "1995-03-15"; "1998-08-02"; "2000-02-29"; "1970-01-01";
+      "1969-12-31"; "2024-12-31" ]
+
+let test_date_epoch () =
+  match Value.date_of_string "1970-01-01" with
+  | Value.Date d -> check_int "epoch day 0" 0 d
+  | _ -> Alcotest.fail "not a date"
+
+let test_date_ordering () =
+  let d1 = Value.date_of_string "1994-01-01" in
+  let d2 = Value.date_of_string "1994-12-31" in
+  check_bool "jan < dec" true (Value.compare d1 d2 < 0)
+
+let test_date_invalid () =
+  List.iter
+    (fun s ->
+       check_bool s true
+         (try
+            ignore (Value.date_of_string s);
+            false
+          with Invalid_argument _ -> true))
+    [ "not-a-date"; "1994-13-01"; "1994-00-10"; "1994-01-32"; "1994-01"; "" ]
+
+let test_byte_size () =
+  check_int "int" 8 (Value.byte_size (Value.Int 1));
+  check_int "string" (4 + 5) (Value.byte_size (Value.String "hello"));
+  check_int "null" 1 (Value.byte_size Value.Null)
+
+let test_add () =
+  check_bool "int add" true
+    (Value.equal (Value.Int 3) (Value.add (Value.Int 1) (Value.Int 2)));
+  check_bool "null identity" true
+    (Value.equal (Value.Int 5) (Value.add Value.Null (Value.Int 5)));
+  check_bool "mixed" true
+    (Value.equal (Value.Float 3.5) (Value.add (Value.Int 1) (Value.Float 2.5)))
+
+let test_min_max () =
+  check_bool "min" true
+    (Value.equal (Value.Int 1) (Value.min_value (Value.Int 1) (Value.Int 2)));
+  check_bool "max skips null" true
+    (Value.equal (Value.Int 2) (Value.max_value Value.Null (Value.Int 2)))
+
+let test_to_from_float () =
+  check_bool "roundtrip int" true
+    (Value.equal (Value.Int 42) (Value.of_float Value.TInt 42.0));
+  check_bool "bool to float" true (Value.to_float (Value.Bool true) = 1.0)
+
+(* property: date_to_string/date_of_string round-trip over a wide range *)
+let prop_date_roundtrip =
+  QCheck.Test.make ~name:"date day-number roundtrip" ~count:500
+    QCheck.(int_range (-100_000) 100_000)
+    (fun day ->
+       match Value.date_of_string (Value.date_to_string day) with
+       | Value.Date d -> d = day
+       | _ -> false)
+
+let prop_compare_antisymmetric =
+  QCheck.Test.make ~name:"int compare antisymmetric" ~count:500
+    QCheck.(pair int int)
+    (fun (a, b) ->
+       let c1 = Value.compare (Value.Int a) (Value.Int b) in
+       let c2 = Value.compare (Value.Int b) (Value.Int a) in
+       (c1 > 0 && c2 < 0) || (c1 < 0 && c2 > 0) || (c1 = 0 && c2 = 0))
+
+let suite =
+  [ Alcotest.test_case "compare ints" `Quick test_compare_ints;
+    Alcotest.test_case "compare mixed numeric" `Quick test_compare_mixed_numeric;
+    Alcotest.test_case "null sorts first" `Quick test_null_sorts_first;
+    Alcotest.test_case "incompatible compare raises" `Quick test_incompatible_compare;
+    Alcotest.test_case "hash numeric consistency" `Quick test_hash_numeric_consistency;
+    Alcotest.test_case "date roundtrip" `Quick test_date_roundtrip;
+    Alcotest.test_case "date epoch" `Quick test_date_epoch;
+    Alcotest.test_case "date ordering" `Quick test_date_ordering;
+    Alcotest.test_case "date invalid" `Quick test_date_invalid;
+    Alcotest.test_case "byte size" `Quick test_byte_size;
+    Alcotest.test_case "add" `Quick test_add;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "to/from float" `Quick test_to_from_float;
+    QCheck_alcotest.to_alcotest prop_date_roundtrip;
+    QCheck_alcotest.to_alcotest prop_compare_antisymmetric ]
