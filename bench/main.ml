@@ -37,6 +37,44 @@ let engine_for ?(skew_z = 0.0) ?(degradations = Workload.paper_degradations) () 
 let time engine mode (q : Queries.query) =
   (Engine.run_sql engine ~mode q.Queries.sql).Dispatcher.elapsed_ms
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: every recorded data point lands in
+   BENCH_results.json next to the human-readable tables.               *)
+
+let json_results : (string * string * float * int * int) list ref = ref []
+
+let record ~scenario ~mode ~elapsed_ms ~switches ~collectors =
+  json_results :=
+    (scenario, mode, elapsed_ms, switches, collectors) :: !json_results
+
+(* run + record: the figure tables double as JSON data points *)
+let time_r ~scenario engine mode (q : Queries.query) =
+  let r = Engine.run_sql engine ~mode q.Queries.sql in
+  record ~scenario
+    ~mode:(Dispatcher.mode_to_string mode)
+    ~elapsed_ms:r.Dispatcher.elapsed_ms ~switches:r.Dispatcher.switches
+    ~collectors:r.Dispatcher.collectors;
+  r
+
+let emit_json () =
+  let oc = open_out "BENCH_results.json" in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i (scenario, mode, ms, sw, col) ->
+       if i > 0 then Buffer.add_string buf ",\n";
+       Buffer.add_string buf
+         (Printf.sprintf
+            "  {\"scenario\": %S, \"mode\": %S, \"elapsed_ms\": %.3f, \
+             \"switches\": %d, \"collectors\": %d}"
+            scenario mode ms sw col))
+    (List.rev !json_results);
+  Buffer.add_string buf "\n]\n";
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "@.wrote %d data points to BENCH_results.json@."
+    (List.length !json_results)
+
 let pct_improvement ~normal ~reopt = 100.0 *. (normal -. reopt) /. normal
 
 let hr () = Fmt.pr "%s@." (String.make 78 '-')
@@ -60,8 +98,11 @@ let figure10 () =
   let engine = engine_for () in
   List.iter
     (fun (q : Queries.query) ->
-       let normal = time engine Dispatcher.Off q in
-       let r = Engine.run_sql engine ~mode:Dispatcher.Full q.Queries.sql in
+       let scenario = "f10/" ^ q.Queries.name in
+       let normal =
+         (time_r ~scenario engine Dispatcher.Off q).Dispatcher.elapsed_ms
+       in
+       let r = time_r ~scenario engine Dispatcher.Full q in
        let reopt = r.Dispatcher.elapsed_ms in
        Fmt.pr "%-5s %-8s %6d | %12.1f %12.1f %8.1f%% %9d@." q.Queries.name
          (Queries.klass_to_string q.Queries.klass)
@@ -88,10 +129,12 @@ let figure11 () =
   in
   List.iter
     (fun (q : Queries.query) ->
-       let normal = time engine Dispatcher.Off q in
-       let mem = time engine Dispatcher.Memory_only q in
-       let plan = time engine Dispatcher.Plan_only q in
-       let full = time engine Dispatcher.Full q in
+       let scenario = "f11/" ^ q.Queries.name in
+       let ms mode = (time_r ~scenario engine mode q).Dispatcher.elapsed_ms in
+       let normal = ms Dispatcher.Off in
+       let mem = ms Dispatcher.Memory_only in
+       let plan = ms Dispatcher.Plan_only in
+       let full = ms Dispatcher.Full in
        Fmt.pr "%-5s %-8s | %10.1f %12.1f %12.1f %12.1f@." q.Queries.name
          (Queries.klass_to_string q.Queries.klass)
          normal mem plan full)
@@ -120,9 +163,14 @@ let figure12 () =
     (fun (q : Queries.query) ->
        let ratios =
          List.map
-           (fun (_, engine) ->
-              let normal = time engine Dispatcher.Off q in
-              let reopt = time engine Dispatcher.Full q in
+           (fun (z, engine) ->
+              let scenario = Fmt.str "f12/%s/z=%g" q.Queries.name z in
+              let normal =
+                (time_r ~scenario engine Dispatcher.Off q).Dispatcher.elapsed_ms
+              in
+              let reopt =
+                (time_r ~scenario engine Dispatcher.Full q).Dispatcher.elapsed_ms
+              in
               reopt /. normal)
            engines
        in
@@ -341,6 +389,60 @@ let scalability () =
     "@.Sub-linear speedup: repartitioning pays the interconnect, as on the      paper's cluster.@."
 
 (* ------------------------------------------------------------------ *)
+(* Workload manager: a concurrent batch against the serial baseline.   *)
+
+let wlm () =
+  header
+    (Fmt.str
+       "Workload manager - 4-query batch, serial fixed budget vs shared \
+        broker (budget=%d pages)"
+       budget_pages);
+  let module Wl = Mqr_wlm.Workload in
+  let specs =
+    List.map
+      (fun name -> Wl.spec ~label:name (Queries.find name).Queries.sql)
+      [ "Q3"; "Q5"; "Q7"; "Q10" ]
+  in
+  let serial =
+    Wl.run
+      ~options:
+        { Wl.default_options with
+          Wl.max_concurrency = 1;
+          memory = Wl.Fixed_per_query budget_pages;
+          feedback = false }
+      (engine_for ()) specs
+  in
+  let conc =
+    Wl.run
+      ~options:
+        { Wl.default_options with
+          Wl.max_concurrency = 4;
+          memory = Wl.Shared_broker }
+      (engine_for ()) specs
+  in
+  Fmt.pr "serial (one at a time, fixed %d pages each):@.%a@.@." budget_pages
+    Wl.pp serial;
+  Fmt.pr "concurrent (broker leases over the same %d pages):@.%a@.@."
+    budget_pages Wl.pp conc;
+  Fmt.pr "makespan %.1f ms -> %.1f ms  (%.2fx)%s@." serial.Wl.makespan_ms
+    conc.Wl.makespan_ms
+    (serial.Wl.makespan_ms /. conc.Wl.makespan_ms)
+    (if conc.Wl.makespan_ms < serial.Wl.makespan_ms then ""
+     else "  ** NO IMPROVEMENT **");
+  let total f (r : Wl.report) =
+    List.fold_left (fun acc (q : Wl.query_result) -> acc + f q.Wl.report) 0
+      r.Wl.results
+  in
+  let rec_wl mode (r : Wl.report) =
+    record ~scenario:"wlm/4q-batch" ~mode ~elapsed_ms:r.Wl.makespan_ms
+      ~switches:(total (fun (d : Dispatcher.report) -> d.Dispatcher.switches) r)
+      ~collectors:
+        (total (fun (d : Dispatcher.report) -> d.Dispatcher.collectors) r)
+  in
+  rec_wl "serial-fixed" serial;
+  rec_wl "broker" conc
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per figure/table id.       *)
 
 let micro () =
@@ -395,36 +497,40 @@ let micro () =
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  match which with
-  | "f10" -> figure10 ()
-  | "f11" -> figure11 ()
-  | "f12" -> figure12 ()
-  | "xfig3" -> xfig3 ()
-  | "sens" -> sensitivity ()
-  | "overhead" -> overhead ()
-  | "joins" -> ablation_joins ()
-  | "hist" -> ablation_histograms ()
-  | "hybrid" -> hybrid ()
-  | "scale" -> scalability ()
-  | "micro" -> micro ()
-  | "figures" ->
-    figure10 ();
-    figure11 ();
-    figure12 ()
-  | "all" ->
-    figure10 ();
-    figure11 ();
-    figure12 ();
-    xfig3 ();
-    sensitivity ();
-    overhead ();
-    ablation_joins ();
-    ablation_histograms ();
-    hybrid ();
-    scalability ();
-    micro ()
-  | other ->
-    Fmt.epr
-      "unknown experiment %S (f10 f11 f12 xfig3 sens overhead joins hist hybrid scale micro all)@."
-      other;
-    exit 1
+  (match which with
+   | "f10" -> figure10 ()
+   | "f11" -> figure11 ()
+   | "f12" -> figure12 ()
+   | "xfig3" -> xfig3 ()
+   | "sens" -> sensitivity ()
+   | "overhead" -> overhead ()
+   | "joins" -> ablation_joins ()
+   | "hist" -> ablation_histograms ()
+   | "hybrid" -> hybrid ()
+   | "scale" -> scalability ()
+   | "wlm" -> wlm ()
+   | "micro" -> micro ()
+   | "figures" ->
+     figure10 ();
+     figure11 ();
+     figure12 ()
+   | "all" ->
+     figure10 ();
+     figure11 ();
+     figure12 ();
+     xfig3 ();
+     sensitivity ();
+     overhead ();
+     ablation_joins ();
+     ablation_histograms ();
+     hybrid ();
+     scalability ();
+     wlm ();
+     micro ()
+   | other ->
+     Fmt.epr
+       "unknown experiment %S (f10 f11 f12 xfig3 sens overhead joins hist \
+        hybrid scale wlm micro all)@."
+       other;
+     exit 1);
+  emit_json ()

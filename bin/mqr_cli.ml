@@ -242,6 +242,79 @@ let load_repl_cmd =
   in
   Cmd.v info Term.(const action $ db_arg $ budget_arg)
 
+let workload_cmd =
+  let module Wl = Mqr_wlm.Workload in
+  let queries_arg =
+    let doc =
+      "Queries to submit, in order (benchmark names like Q5, or SQL text)."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY" ~doc)
+  in
+  let concurrency_arg =
+    let doc = "Maximum number of queries executing at once." in
+    Arg.(value & opt int 4 & info [ "concurrency" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc = "Run-queue capacity; further queries are rejected." in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let fixed_arg =
+    let doc =
+      "Give every query its own fixed budget of PAGES instead of leasing \
+       from the shared memory broker."
+    in
+    Arg.(value & opt (some int) None & info [ "fixed-pages" ] ~docv:"PAGES" ~doc)
+  in
+  let no_feedback_arg =
+    let doc = "Disable the cross-query statistics feedback cache." in
+    Arg.(value & flag & info [ "no-feedback" ] ~doc)
+  in
+  let jitter_arg =
+    let doc = "Add a uniform random arrival delay of up to MS milliseconds." in
+    Arg.(value & opt float 0.0 & info [ "jitter" ] ~docv:"MS" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed for the arrival jitter." in
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let action queries sf skew budget mode pristine concurrency queue fixed
+      no_feedback jitter seed =
+    friendly @@ fun () ->
+    let engine = make_engine ~sf ~skew ~budget ~pristine in
+    let specs =
+      List.map
+        (fun q ->
+           let sql = resolve_sql q in
+           (* benchmark names label themselves; raw SQL gets q<n> *)
+           let label = if sql = q then "" else q in
+           Wl.spec ~label ~mode sql)
+        queries
+    in
+    let options =
+      { Wl.max_concurrency = concurrency;
+        max_queue = queue;
+        memory =
+          (match fixed with
+           | Some pages -> Wl.Fixed_per_query pages
+           | None -> Wl.Shared_broker);
+        feedback = not no_feedback;
+        arrival_jitter_ms = jitter;
+        seed }
+    in
+    let report = Wl.run ~options engine specs in
+    Fmt.pr "%a@." Wl.pp report
+  in
+  let info =
+    Cmd.info "workload"
+      ~doc:
+        "Run a batch of queries concurrently under the workload manager \
+         (admission control, shared memory broker, statistics feedback)."
+  in
+  Cmd.v info
+    Term.(const action $ queries_arg $ sf_arg $ skew_arg $ budget_arg
+          $ mode_arg $ pristine_arg $ concurrency_arg $ queue_arg $ fixed_arg
+          $ no_feedback_arg $ jitter_arg $ seed_arg)
+
 let queries_cmd =
   let action () =
     List.iter
@@ -262,5 +335,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; explain_cmd; queries_cmd; repl_cmd; dump_cmd;
-            load_repl_cmd ]))
+          [ run_cmd; explain_cmd; queries_cmd; workload_cmd; repl_cmd;
+            dump_cmd; load_repl_cmd ]))

@@ -13,6 +13,7 @@ type table = {
   mutable stats : Column_stats.t array;
   mutable indexes : index list;
   mutable updates_since_analyze : int;
+  mutable stats_epoch : int;
 }
 
 type t = { tbls : (string, table) Hashtbl.t }
@@ -29,7 +30,8 @@ let add_table t name heap =
       believed_pages = Heap_file.page_count heap;
       stats = Array.make (Schema.arity (Heap_file.schema heap)) Column_stats.empty;
       indexes = [];
-      updates_since_analyze = 0 }
+      updates_since_analyze = 0;
+      stats_epoch = 0 }
   in
   Hashtbl.replace t.tbls name table;
   table
@@ -77,7 +79,8 @@ let analyze_table ?(kind = Mqr_stats.Histogram.Maxdiff) ?(buckets = 32)
       columns;
   table.believed_rows <- Heap_file.tuple_count table.heap;
   table.believed_pages <- Heap_file.page_count table.heap;
-  table.updates_since_analyze <- 0
+  table.updates_since_analyze <- 0;
+  table.stats_epoch <- table.stats_epoch + 1
 
 let create_index t ~table ~column =
   let tbl = find_exn t table in

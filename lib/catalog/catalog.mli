@@ -22,6 +22,11 @@ type table = {
       (** rows inserted/deleted since statistics were last collected; the
           inaccuracy rules treat heavily-updated tables' statistics as
           stale (paper Section 2.5) *)
+  mutable stats_epoch : int;
+      (** bumped every time ANALYZE refreshes the table's statistics;
+          consumers holding results derived from the old statistics
+          (cached plans, workload-level observed-statistics overlays)
+          compare epochs to detect that the ground shifted under them *)
 }
 
 type t

@@ -77,7 +77,8 @@ let save_table dir (tbl : Catalog.table) =
   let meta =
     [ [ "believed_rows"; string_of_int tbl.Catalog.believed_rows ];
       [ "believed_pages"; string_of_int tbl.Catalog.believed_pages ];
-      [ "updates"; string_of_int tbl.Catalog.updates_since_analyze ] ]
+      [ "updates"; string_of_int tbl.Catalog.updates_since_analyze ];
+      [ "stats_epoch"; string_of_int tbl.Catalog.stats_epoch ] ]
     @ List.map (fun ix -> [ "index"; ix.Catalog.column ]) tbl.Catalog.indexes
   in
   Csv.write_file (dir // (name ^ ".meta.csv")) meta;
@@ -154,6 +155,7 @@ let load_table catalog dir name =
        | [ "believed_rows"; v ] -> tbl.Catalog.believed_rows <- int_of_string v
        | [ "believed_pages"; v ] -> tbl.Catalog.believed_pages <- int_of_string v
        | [ "updates"; v ] -> tbl.Catalog.updates_since_analyze <- int_of_string v
+       | [ "stats_epoch"; v ] -> tbl.Catalog.stats_epoch <- int_of_string v
        | [ "index"; column ] -> ignore (Catalog.create_index catalog ~table:name ~column)
        | _ -> corrupt "%s: bad meta row" name)
     (Csv.read_file (dir // (name ^ ".meta.csv")));

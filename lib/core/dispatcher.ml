@@ -40,6 +40,18 @@ type config = {
   start_sampling : int option;
       (* probe uncertain local predicates with this many sampled rows
          before optimizing (hybrid parametric/dynamic strategy) *)
+  broker : (min_pages:int -> max_pages:int -> int) option;
+      (* when set, the memory budget is not fixed: every (re-)allocation
+         asks the broker for a lease sized to the remaining plan's demand,
+         so a workload manager can move pages between concurrent queries *)
+  env_overlay : (Query.t -> Stats_env.t -> unit) option;
+      (* applied to every freshly built estimation environment (initial
+         optimization and mid-query re-optimizations) before the query's
+         own observed statistics; a workload manager uses it to feed
+         statistics observed by earlier queries into this one *)
+  temp_prefix : string;
+      (* disambiguates intermediate-result table names when several
+         queries share one catalog (concurrent workloads) *)
 }
 
 type event =
@@ -74,6 +86,13 @@ type report = {
       (* (plan node id, observed output rows) for every executed node *)
   actual_ms : (int * float) list;
       (* (plan node id, simulated ms spent in that node alone) *)
+  pool_hits : int;
+  pool_misses : int;
+  observed_stats : (string * Column_stats.t) list;
+      (* qualified column -> statistics gathered by this query's
+         collectors; outlives the query (paper Section 2.6) *)
+  observed_cards : (string * int) list;
+      (* alias -> exact cardinality, for relations scanned in full *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -82,7 +101,7 @@ type report = {
 type state = {
   cfg : config;
   ctx : Exec_ctx.t;
-  memman : Memory_manager.t;
+  mutable memman : Memory_manager.t;
   query : Query.t;
   mutable env : Stats_env.t;
   mutable current : Plan.t;
@@ -93,6 +112,8 @@ type state = {
   (* observed column statistics, re-applied to every new Stats_env *)
   mutable overrides : (string * Column_stats.t) list;
   mutable temp_names : string list;
+  (* alias -> exact cardinality for full (unfiltered) scans *)
+  mutable observed_cards : (string * int) list;
   mutable events : event list;
   mutable switches : int;
   mutable next_temp : int;
@@ -118,7 +139,7 @@ let fresh_plan_id st =
 
 let fresh_temp_name st =
   st.next_temp <- st.next_temp + 1;
-  Printf.sprintf "__temp_%d" st.next_temp
+  Printf.sprintf "__temp%s_%d" st.cfg.temp_prefix st.next_temp
 
 let record_annotations st plan =
   List.iter
@@ -196,6 +217,14 @@ and exec_node_inner st (p : Plan.t) : Tuple.t array * Schema.t =
     (rows, schema)
   | Plan.Collect { input; spec; cid } ->
     let rows, schema = exec_node st input in
+    (* an unfiltered full scan yields the relation's exact cardinality —
+       a statistic worth keeping beyond the query (Section 2.6) *)
+    (match input.Plan.node with
+     | Plan.Seq_scan { alias; filter = None; _ } ->
+       st.observed_cards <-
+         (alias, Array.length rows)
+         :: List.remove_assoc alias st.observed_cards
+     | _ -> ());
     let obs = Collector.collect ctx schema spec rows in
     let columns =
       spec.Collector.hist_cols @ spec.Collector.distinct_cols
@@ -442,8 +471,21 @@ let charge_materialization st (current : Plan.t) =
 (* ------------------------------------------------------------------ *)
 (* Decision point, after each completed unit.                          *)
 
+(* Grant memory to the current plan's consumers.  With a broker the budget
+   is a lease re-negotiated on every call (shrunken demand after
+   re-optimization hands pages back to the workload); without one it is
+   the fixed per-query budget. *)
+let allocate_memory st =
+  (match st.cfg.broker with
+   | None -> ()
+   | Some lease ->
+     let min_pages, max_pages = Memory_manager.plan_demand st.current in
+     let budget = lease ~min_pages ~max_pages in
+     st.memman <- Memory_manager.create ~budget_pages:(max 1 budget));
+  Memory_manager.allocate st.memman st.current
+
 let reallocate st =
-  let grants = Memory_manager.allocate st.memman st.current in
+  let grants = allocate_memory st in
   st.current <- Optimizer.recost ~planning_mem:st.cfg.opt_options.Optimizer.planning_mem_pages
       ~model:st.cfg.model ~env:st.env st.current;
   emit st (Ev_realloc { grants })
@@ -481,6 +523,9 @@ let try_replan st =
   | Reopt_policy.Consider ->
     let rq = remainder_query st st.current in
     let env' = Stats_env.create st.cfg.catalog rq.Query.relations in
+    (match st.cfg.env_overlay with
+     | Some overlay -> overlay rq env'
+     | None -> ());
     apply_overrides st env';
     (match
        Optimizer.optimize ~options:st.cfg.opt_options
@@ -509,7 +554,7 @@ let try_replan st =
          st.env <- env';
          st.current <- new_plan;
          record_annotations st new_plan;
-         ignore (Memory_manager.allocate st.memman st.current);
+         ignore (allocate_memory st);
          st.current <-
            Optimizer.recost ~planning_mem:st.cfg.opt_options.Optimizer.planning_mem_pages
       ~model:st.cfg.model ~env:st.env st.current;
@@ -540,9 +585,19 @@ let decision_point st =
 (* ------------------------------------------------------------------ *)
 (* Main loop.                                                          *)
 
-let run ?prepared cfg query =
+type run = {
+  st : state;
+  plan0 : Plan.t;
+  r_collectors : int;
+  mutable result : report option;
+}
+
+let start ?prepared cfg query =
   let ctx = Exec_ctx.create ~model:cfg.model ~pool_pages:cfg.pool_pages () in
   let env = Stats_env.create cfg.catalog query.Query.relations in
+  (match cfg.env_overlay with
+   | Some overlay -> overlay query env
+   | None -> ());
   (* Start-time probing is orthogonal to mid-query re-optimization: it
      improves the very first plan even in Off mode. *)
   let probes =
@@ -575,11 +630,6 @@ let run ?prepared cfg query =
           List.length scia.Scia.kept))
   in
   let memman = Memory_manager.create ~budget_pages:cfg.budget_pages in
-  ignore (Memory_manager.allocate memman plan0);
-  let plan0 =
-    Optimizer.recost ~planning_mem:cfg.opt_options.Optimizer.planning_mem_pages
-      ~model:cfg.model ~env plan0
-  in
   let max_id =
     List.fold_left (fun m (n : Plan.t) -> max m n.Plan.id) 0 (Plan.nodes plan0)
   in
@@ -594,6 +644,7 @@ let run ?prepared cfg query =
       store = Hashtbl.create 8;
       overrides = [];
       temp_names = [];
+      observed_cards = [];
       events = [];
       switches = 0;
       next_temp = 0;
@@ -601,61 +652,105 @@ let run ?prepared cfg query =
       actuals = Hashtbl.create 64;
       actual_ms = Hashtbl.create 64 }
   in
+  ignore (allocate_memory st);
+  let plan0 =
+    Optimizer.recost ~planning_mem:cfg.opt_options.Optimizer.planning_mem_pages
+      ~model:cfg.model ~env plan0
+  in
+  st.current <- plan0;
   record_annotations st plan0;
   List.iter (fun p -> emit st (Ev_sampled p)) probes;
-  (* Execute join units one by one, with a decision point after each. *)
-  let rec loop () =
-    match find_ready_join st.current with
-    | None -> ()
-    | Some j ->
-      let rows, schema = exec_node st j in
-      emit st
-        (Ev_unit_done
-           { op = Plan.op_name j;
-             est_rows = j.Plan.est.Plan.rows;
-             actual_rows = Array.length rows });
-      let name = fresh_temp_name st in
-      register_temp st ~name ~rows ~schema;
-      let leaf =
-        { Plan.id = fresh_plan_id st;
-          node =
-            Plan.Materialized
-              { name; covers = Plan.aliases j; on_disk = false };
-          schema;
-          est =
-            { Plan.rows = float_of_int (Array.length rows);
-              width =
-                (if Array.length rows = 0 then 1.0
-                 else
-                   float_of_int (Rows_ops.bytes_of_rows rows)
-                   /. float_of_int (Array.length rows));
-              op_ms = 0.0;
-              total_ms = 0.0 };
-          min_mem = 0;
-          max_mem = 0;
-          mem = 0 }
-      in
-      st.current <- replace_node st.current ~target_id:j.Plan.id ~replacement:leaf;
-      decision_point st;
-      loop ()
+  { st; plan0; r_collectors = collectors; result = None }
+
+(* Re-negotiate the memory lease for a run that has not finished —
+   called by a workload manager when pages freed by another query can be
+   re-granted to this one.  No-op between a unit's start and end because
+   steps are atomic; safe whenever the caller holds the run. *)
+let refresh_memory r =
+  match r.result, r.st.cfg.broker with
+  | None, Some _ -> reallocate r.st
+  | _ -> ()
+
+let finished r = Option.is_some r.result
+
+let run_elapsed_ms r = Sim_clock.elapsed_ms r.st.ctx.Exec_ctx.clock
+
+(* Execute one unit (a ready join, or the final aggregate/sort stack).
+   Returns the report once the last unit completed. *)
+let step r =
+  match r.result with
+  | Some report -> Some report
+  | None ->
+    let st = r.st in
+    (match find_ready_join st.current with
+     | Some j ->
+       let rows, schema = exec_node st j in
+       emit st
+         (Ev_unit_done
+            { op = Plan.op_name j;
+              est_rows = j.Plan.est.Plan.rows;
+              actual_rows = Array.length rows });
+       let name = fresh_temp_name st in
+       register_temp st ~name ~rows ~schema;
+       let leaf =
+         { Plan.id = fresh_plan_id st;
+           node =
+             Plan.Materialized
+               { name; covers = Plan.aliases j; on_disk = false };
+           schema;
+           est =
+             { Plan.rows = float_of_int (Array.length rows);
+               width =
+                 (if Array.length rows = 0 then 1.0
+                  else
+                    float_of_int (Rows_ops.bytes_of_rows rows)
+                    /. float_of_int (Array.length rows));
+               op_ms = 0.0;
+               total_ms = 0.0 };
+           min_mem = 0;
+           max_mem = 0;
+           mem = 0 }
+       in
+       st.current <-
+         replace_node st.current ~target_id:j.Plan.id ~replacement:leaf;
+       decision_point st;
+       None
+     | None ->
+       (* Remaining stack: aggregate/sort/project/limit over the last
+          result. *)
+       let rows, result_schema = exec_node st st.current in
+       (* Drop temp tables so the engine can be reused. *)
+       List.iter (Catalog.drop_table st.cfg.catalog) st.temp_names;
+       let report =
+         { rows;
+           result_schema;
+           elapsed_ms = Sim_clock.elapsed_ms st.ctx.Exec_ctx.clock;
+           counters = Sim_clock.counters st.ctx.Exec_ctx.clock;
+           events = List.rev st.events;
+           switches = st.switches;
+           collectors = r.r_collectors;
+           initial_plan = r.plan0;
+           final_plan = st.current;
+           actual_rows =
+             Hashtbl.fold (fun id n acc -> (id, n) :: acc) st.actuals [];
+           actual_ms =
+             Hashtbl.fold (fun id ms acc -> (id, ms) :: acc) st.actual_ms [];
+           pool_hits = Buffer_pool.hits st.ctx.Exec_ctx.pool;
+           pool_misses = Buffer_pool.misses st.ctx.Exec_ctx.pool;
+           observed_stats = st.overrides;
+           observed_cards = st.observed_cards }
+       in
+       r.result <- Some report;
+       Some report)
+
+let run ?prepared cfg query =
+  let r = start ?prepared cfg query in
+  let rec drive () =
+    match step r with
+    | Some report -> report
+    | None -> drive ()
   in
-  loop ();
-  (* Remaining stack: aggregate/sort/project/limit over the last result. *)
-  let rows, result_schema = exec_node st st.current in
-  (* Drop temp tables so the engine can be reused. *)
-  List.iter (Catalog.drop_table cfg.catalog) st.temp_names;
-  { rows;
-    result_schema;
-    elapsed_ms = Sim_clock.elapsed_ms ctx.Exec_ctx.clock;
-    counters = Sim_clock.counters ctx.Exec_ctx.clock;
-    events = List.rev st.events;
-    switches = st.switches;
-    collectors;
-    initial_plan = plan0;
-    final_plan = st.current;
-    actual_rows = Hashtbl.fold (fun id n acc -> (id, n) :: acc) st.actuals [];
-    actual_ms =
-      Hashtbl.fold (fun id ms acc -> (id, ms) :: acc) st.actual_ms [] }
+  drive ()
 
 (* EXPLAIN ANALYZE-style rendering: the annotated plan with observed
    cardinalities next to the estimates. *)
@@ -692,7 +787,12 @@ let pp_explain_analyze fmt (report : report) =
       pad (Plan.op_name p) p.Plan.est.Plan.rows rows p.Plan.est.Plan.op_ms ms;
     List.iter (go (indent + 2)) (Plan.children p)
   in
-  go 0 report.initial_plan
+  go 0 report.initial_plan;
+  let accesses = report.pool_hits + report.pool_misses in
+  Fmt.pf fmt "buffer pool: %d hits / %d misses (%.1f%% hit rate)@."
+    report.pool_hits report.pool_misses
+    (if accesses = 0 then 0.0
+     else 100.0 *. float_of_int report.pool_hits /. float_of_int accesses)
 
 let pp_event fmt = function
   | Ev_unit_done { op; est_rows; actual_rows } ->

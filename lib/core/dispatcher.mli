@@ -42,6 +42,19 @@ type config = {
       (** probe uncertain local predicates on this many sampled rows
           before the first optimization (the hybrid strategy of
           Sections 4-5); [None] disables *)
+  broker : (min_pages:int -> max_pages:int -> int) option;
+      (** when set, [budget_pages] is ignored after start-up: every
+          (re-)allocation asks the broker for a lease bounded by the
+          remaining plan's aggregate memory demand, so a workload manager
+          can shift pages between concurrent queries (the paper's dynamic
+          resource re-allocation lifted to the workload level) *)
+  env_overlay : (Mqr_sql.Query.t -> Mqr_opt.Stats_env.t -> unit) option;
+      (** applied to every freshly built estimation environment before
+          this query's own observed statistics; used by the workload
+          manager's cross-query statistics feedback *)
+  temp_prefix : string;
+      (** disambiguates intermediate-result table names when several
+          in-flight queries share one catalog; [""] for a solo query *)
 }
 
 type event =
@@ -77,6 +90,14 @@ type report = {
           the raw material of an EXPLAIN ANALYZE *)
   actual_ms : (int * float) list;
       (** (plan-node id, simulated milliseconds spent in that node alone) *)
+  pool_hits : int;    (** buffer-pool page hits during execution *)
+  pool_misses : int;  (** buffer-pool page misses during execution *)
+  observed_stats : (string * Mqr_catalog.Column_stats.t) list;
+      (** qualified column -> statistics gathered by this query's
+          collectors; they can outlive the query (Section 2.6) and seed a
+          workload-level statistics cache *)
+  observed_cards : (string * int) list;
+      (** alias -> exact cardinality for relations scanned in full *)
 }
 
 (** Execute a bound query under the configuration.  [prepared] supplies a
@@ -84,6 +105,35 @@ type report = {
     and collector insertion — see {!Plan_cache}. *)
 val run :
   ?prepared:Mqr_opt.Plan.t * int -> config -> Mqr_sql.Query.t -> report
+
+(** {2 Stepwise execution}
+
+    A workload manager interleaves many queries over the simulated clock:
+    [start] optimizes and instruments the query without executing it, and
+    each [step] runs exactly one execution unit (one ready join together
+    with the pipelines feeding it, or the final aggregate/sort stack, which
+    completes the query).  [run] is [start] followed by [step] to
+    completion. *)
+
+type run
+
+val start :
+  ?prepared:Mqr_opt.Plan.t * int -> config -> Mqr_sql.Query.t -> run
+
+(** [step r] executes the next unit; returns the report once the query
+    finished (repeat calls keep returning it). *)
+val step : run -> report option
+
+val finished : run -> bool
+
+(** Simulated milliseconds this run has consumed so far. *)
+val run_elapsed_ms : run -> float
+
+(** Re-negotiate the run's memory lease against its broker and re-allocate
+    over the remaining plan — lets the workload manager re-grant pages
+    freed by a finished query to one still in flight.  No-op on finished
+    runs or broker-less configurations (the fixed budget cannot change). *)
+val refresh_memory : run -> unit
 
 val pp_event : Format.formatter -> event -> unit
 

@@ -64,7 +64,24 @@ let config t mode start_sampling =
     params = t.params;
     opt_options = t.opt_options;
     mode;
-    start_sampling }
+    start_sampling;
+    broker = None;
+    env_overlay = None;
+    temp_prefix = "" }
+
+let budget_pages t = t.budget_pages
+
+(* Workload managers build per-query dispatcher configurations from the
+   engine's settings, overriding the pieces they own (memory broker,
+   statistics overlay, temp-table namespace). *)
+let dispatcher_config t ~mode ?probe_rows ?budget_pages ?broker ?env_overlay
+    ?(temp_prefix = "") () =
+  { (config t mode probe_rows) with
+    Dispatcher.budget_pages =
+      Option.value ~default:t.budget_pages budget_pages;
+    broker;
+    env_overlay;
+    temp_prefix }
 
 let bind_sql t sql = Query.bind t.catalog (Parser.parse ~udfs:!(t.udfs) sql)
 
@@ -243,6 +260,8 @@ let pp_summary fmt (r : Dispatcher.report) =
   Fmt.pf fmt "@[<v>%d result rows in %.1f simulated ms@," (Array.length r.Dispatcher.rows)
     r.Dispatcher.elapsed_ms;
   Fmt.pf fmt "I/O: %a@," Sim_clock.pp_counters r.Dispatcher.counters;
+  Fmt.pf fmt "buffer pool: %d hits / %d misses@," r.Dispatcher.pool_hits
+    r.Dispatcher.pool_misses;
   Fmt.pf fmt "collectors inserted: %d, plan switches: %d@,"
     r.Dispatcher.collectors r.Dispatcher.switches;
   List.iter

@@ -29,6 +29,24 @@ val create :
 
 val catalog : t -> Mqr_catalog.Catalog.t
 
+(** The engine's global memory-manager budget. *)
+val budget_pages : t -> int
+
+(** Build a {!Dispatcher.config} from the engine's settings — the hook a
+    workload manager uses to run queries through {!Dispatcher.start} with
+    its own memory broker, statistics overlay, and temp-table namespace
+    ([temp_prefix] must be unique per in-flight query).  [budget_pages]
+    overrides the engine's budget (e.g. a fixed slice per query). *)
+val dispatcher_config :
+  t ->
+  mode:Dispatcher.mode ->
+  ?probe_rows:int ->
+  ?budget_pages:int ->
+  ?broker:(min_pages:int -> max_pages:int -> int) ->
+  ?env_overlay:(Mqr_sql.Query.t -> Mqr_opt.Stats_env.t -> unit) ->
+  ?temp_prefix:string ->
+  unit -> Dispatcher.config
+
 (** (hits, misses, entries) when the plan cache is enabled. *)
 val plan_cache_stats : t -> (int * int * int) option
 val params : t -> Reopt_policy.params

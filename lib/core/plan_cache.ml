@@ -10,8 +10,9 @@ type entry = {
 
 type stored = {
   e : entry;
-  (* update counters of the referenced tables at caching time *)
-  table_versions : (string * int) list;
+  (* (update counter, stats epoch) of the referenced tables at caching
+     time *)
+  table_versions : (string * (int * int)) list;
 }
 
 type t = {
@@ -29,17 +30,19 @@ let create ?(capacity = 64) () =
     hits = 0;
     misses = 0 }
 
-(* A plan is stale when a referenced table disappeared, shrank its update
-   counter (ANALYZE ran: statistics changed under the plan), or has seen
-   more than 10% extra update activity since caching. *)
+(* A plan is stale when a referenced table disappeared, had its statistics
+   refreshed by ANALYZE (the stats epoch moved: the plan was costed under
+   numbers that no longer exist), or has seen more than 10% extra update
+   activity since caching. *)
 let still_valid catalog stored =
   List.for_all
-    (fun (table, cached_updates) ->
+    (fun (table, (cached_updates, cached_epoch)) ->
        match Catalog.find catalog table with
        | None -> false
        | Some tbl ->
          let now = tbl.Catalog.updates_since_analyze in
-         if now < cached_updates then false
+         if tbl.Catalog.stats_epoch <> cached_epoch then false
+         else if now < cached_updates then false
          else begin
            let believed = max 1 tbl.Catalog.believed_rows in
            float_of_int (now - cached_updates) /. float_of_int believed <= 0.1
@@ -50,7 +53,10 @@ let versions catalog (q : Query.t) =
   List.filter_map
     (fun (r : Query.relation) ->
        match Catalog.find catalog r.Query.table with
-       | Some tbl -> Some (r.Query.table, tbl.Catalog.updates_since_analyze)
+       | Some tbl ->
+         Some
+           (r.Query.table,
+            (tbl.Catalog.updates_since_analyze, tbl.Catalog.stats_epoch))
        | None -> None)
     q.Query.relations
 

@@ -8,8 +8,10 @@
     A cached plan embeds the optimizer estimates of its day; like any
     static plan it goes stale as tables change.  Entries are invalidated
     when a referenced table has seen significant update activity since the
-    plan was cached (or was dropped/re-analyzed) — and, of course, a stale
-    plan that slips through is exactly what Dynamic Re-Optimization
+    plan was cached, was dropped, or had its statistics refreshed by
+    ANALYZE (its stats epoch moved — even when no rows changed, the plan
+    was costed under numbers that no longer exist) — and, of course, a
+    stale plan that slips through is exactly what Dynamic Re-Optimization
     repairs at run time. *)
 
 type t

@@ -15,6 +15,16 @@ let consumers_in_order plan =
   in
   List.rev (post [] plan)
 
+let plan_demand plan =
+  let consumers = consumers_in_order plan in
+  let mn =
+    List.fold_left (fun a (p : Plan.t) -> a + max 1 p.Plan.min_mem) 0 consumers
+  in
+  let mx =
+    List.fold_left (fun a (p : Plan.t) -> a + max 1 p.Plan.max_mem) 0 consumers
+  in
+  (mn, max mn mx)
+
 type grant = {
   node_id : int;
   op : string;

@@ -23,6 +23,11 @@ val budget_pages : t -> int
     before probe side). *)
 val consumers_in_order : Mqr_opt.Plan.t -> Mqr_opt.Plan.t list
 
+(** [(min, max)] aggregate page demand over a plan's memory consumers
+    (each counted as at least one page) — what a query asks a workload
+    memory broker for. *)
+val plan_demand : Mqr_opt.Plan.t -> int * int
+
 type grant = {
   node_id : int;
   op : string;

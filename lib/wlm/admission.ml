@@ -1,0 +1,41 @@
+type 'a item = {
+  priority : int;
+  seq : int;
+  payload : 'a;
+}
+
+type 'a t = {
+  capacity : int;
+  mutable items : 'a item list;  (* sorted: higher priority, then FIFO *)
+  mutable next_seq : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Admission.create: capacity < 0";
+  { capacity; items = []; next_seq = 0 }
+
+let length t = List.length t.items
+let is_empty t = t.items = []
+
+let before a b =
+  a.priority > b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let offer t ~priority payload =
+  if length t >= t.capacity then false
+  else begin
+    let item = { priority; seq = t.next_seq; payload } in
+    t.next_seq <- t.next_seq + 1;
+    let rec insert = function
+      | [] -> [ item ]
+      | x :: rest -> if before item x then item :: x :: rest else x :: insert rest
+    in
+    t.items <- insert t.items;
+    true
+  end
+
+let take t =
+  match t.items with
+  | [] -> None
+  | x :: rest ->
+    t.items <- rest;
+    Some x.payload

@@ -1,0 +1,20 @@
+(** Admission controller: a bounded, priority-ordered run queue.
+
+    Queries that cannot start immediately wait here.  [take] returns the
+    highest-priority waiting item; ties break in submission order (FIFO),
+    so equal-priority queries are served fairly.  [offer] refuses items
+    beyond the capacity — the workload manager reports those as rejected
+    rather than queueing unboundedly (load shedding). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+
+(** [offer t ~priority x] is [false] when the queue is full. *)
+val offer : 'a t -> priority:int -> 'a -> bool
+
+(** Highest priority first; FIFO within a priority. *)
+val take : 'a t -> 'a option
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,73 @@
+type t = {
+  budget : int;
+  floor : int;
+  max_concurrency : int;
+  leases : (int, int) Hashtbl.t;
+  mutable pending : int;
+  mutable peak : int;
+  mutable grants : int;
+  mutable reclaimed : int;
+}
+
+let create ~budget_pages ~max_concurrency =
+  if budget_pages < 1 then invalid_arg "Broker.create: budget_pages < 1";
+  if max_concurrency < 1 then invalid_arg "Broker.create: max_concurrency < 1";
+  { budget = budget_pages;
+    floor = max 1 (budget_pages / max_concurrency);
+    max_concurrency;
+    leases = Hashtbl.create 8;
+    pending = 0;
+    peak = 0;
+    grants = 0;
+    reclaimed = 0 }
+
+let budget_pages t = t.budget
+let floor_pages t = t.floor
+
+let total_leased t = Hashtbl.fold (fun _ pages acc -> acc + pages) t.leases 0
+
+let free_pages t = t.budget - total_leased t
+
+let outstanding t = Hashtbl.length t.leases
+
+let lease_of t ~id = Option.value ~default:0 (Hashtbl.find_opt t.leases id)
+
+let set_pending t n = t.pending <- max 0 n
+
+let lease t ~id ~min_pages ~max_pages =
+  if min_pages < 0 || max_pages < min_pages then
+    invalid_arg "Broker.lease: bad demand";
+  let current = lease_of t ~id in
+  (* the query's own lease is free to itself: a re-negotiation can only
+     take what nobody else holds *)
+  let others = outstanding t - (if Hashtbl.mem t.leases id then 1 else 0) in
+  (* keep the admission floor in reserve for pending queries that could
+     still occupy an open slot — one greedy lease must not serialize the
+     rest of the batch behind it *)
+  let open_slots = max 0 (t.max_concurrency - others - 1) in
+  let reserved = t.floor * min t.pending open_slots in
+  let available = max 0 (free_pages t + current - reserved) in
+  let granted = min max_pages available in
+  let granted = if granted < min_pages then min min_pages available else granted in
+  let granted = max 0 granted in
+  if granted < current then t.reclaimed <- t.reclaimed + (current - granted);
+  Hashtbl.replace t.leases id granted;
+  t.grants <- t.grants + 1;
+  t.peak <- max t.peak (total_leased t);
+  granted
+
+let release t ~id =
+  (match Hashtbl.find_opt t.leases id with
+   | Some pages -> t.reclaimed <- t.reclaimed + pages
+   | None -> ());
+  Hashtbl.remove t.leases id
+
+let can_admit t = free_pages t >= t.floor
+
+let peak_leased t = t.peak
+let grants t = t.grants
+let reclaimed_pages t = t.reclaimed
+
+let pp fmt t =
+  Fmt.pf fmt "broker: %d/%d pages leased across %d queries (peak %d, floor %d)"
+    (total_leased t) t.budget (outstanding t) t.peak t.floor

@@ -1,0 +1,66 @@
+(** Shared memory broker.
+
+    One global budget of buffer pages is divided into *leases*, one per
+    running query.  A query (through the dispatcher's broker hook) asks
+    for a lease sized to the aggregate demand of its remaining plan; the
+    broker grants what fits beside the other leases.  When mid-query
+    re-optimization shrinks a plan's demand the next lease call returns
+    the difference to the pool, and when a query finishes its whole lease
+    is released — freed pages are then re-granted to waiting or
+    memory-starved queries by the workload scheduler.  This is the
+    paper's dynamic resource re-allocation (Section 2.5) lifted from one
+    query's operators to a whole workload's queries.
+
+    Invariants (tested): the sum of outstanding leases never exceeds the
+    budget, and no lease outlives its query. *)
+
+type t
+
+(** [create ~budget_pages ~max_concurrency] — the admission floor is
+    [budget_pages / max_concurrency] (at least one page): a new query is
+    only admitted while that much is unleased, so every admitted query
+    can make progress. *)
+val create : budget_pages:int -> max_concurrency:int -> t
+
+val budget_pages : t -> int
+val floor_pages : t -> int
+
+(** [lease t ~id ~min_pages ~max_pages] re-negotiates query [id]'s lease:
+    grants up to [max_pages] of what is free (a query's own current lease
+    counts as free to itself), falling back toward [min_pages] under
+    pressure.  While pending queries could still fill open slots, one
+    admission floor per such query is held in reserve so a single greedy
+    lease cannot serialize the batch.  Returns the new lease size; never
+    exceeds the pages actually available, so the budget invariant holds. *)
+val lease : t -> id:int -> min_pages:int -> max_pages:int -> int
+
+(** [set_pending t n] tells the broker how many submitted queries are not
+    yet running — the scheduler updates this as the batch drains so
+    reservations relax and the survivors can grow to the full budget. *)
+val set_pending : t -> int -> unit
+
+(** Return query [id]'s entire lease to the pool. *)
+val release : t -> id:int -> unit
+
+(** Current lease of a query (0 when it holds none). *)
+val lease_of : t -> id:int -> int
+
+val total_leased : t -> int
+val free_pages : t -> int
+
+(** Number of live leases. *)
+val outstanding : t -> int
+
+(** Is there room (>= floor) to admit another query? *)
+val can_admit : t -> bool
+
+(** High-water mark of [total_leased] over the broker's lifetime. *)
+val peak_leased : t -> int
+
+(** Number of [lease] calls served. *)
+val grants : t -> int
+
+(** Pages handed back by lease shrinks and releases. *)
+val reclaimed_pages : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,273 @@
+module Engine = Mqr_core.Engine
+module Dispatcher = Mqr_core.Dispatcher
+module Query = Mqr_sql.Query
+module Rng = Mqr_stats.Rng
+
+type spec = {
+  label : string;
+  sql : string;
+  priority : int;
+  mode : Dispatcher.mode;
+  arrival_ms : float;
+}
+
+let spec ?(label = "") ?(priority = 0) ?(mode = Dispatcher.Full)
+    ?(arrival_ms = 0.0) sql =
+  { label; sql; priority; mode; arrival_ms }
+
+type memory_policy =
+  | Fixed_per_query of int
+  | Shared_broker
+
+type options = {
+  max_concurrency : int;
+  max_queue : int;
+  memory : memory_policy;
+  feedback : bool;
+  arrival_jitter_ms : float;
+  seed : int;
+}
+
+let default_options =
+  { max_concurrency = 4;
+    max_queue = 64;
+    memory = Shared_broker;
+    feedback = true;
+    arrival_jitter_ms = 0.0;
+    seed = 7 }
+
+type query_result = {
+  label : string;
+  index : int;
+  report : Dispatcher.report;
+  arrival_ms : float;
+  admit_ms : float;
+  queue_ms : float;
+  finish_ms : float;
+}
+
+type report = {
+  results : query_result list;
+  rejected : (int * string) list;
+  makespan_ms : float;
+  total_exec_ms : float;
+  total_queue_ms : float;
+  peak_leased_pages : int;
+  outstanding_leases : int;
+  stats_published : int;
+  stats_applied : int;
+}
+
+type state =
+  | Waiting
+  | Running of Query.t * Dispatcher.run
+  | Done
+  | Shed
+
+type entry = {
+  e_spec : spec;
+  e_index : int;
+  e_label : string;
+  e_arrival : float;
+  mutable e_state : state;
+  mutable e_admit : float;
+  mutable e_finish : float;
+  mutable e_report : Dispatcher.report option;
+}
+
+let run ?(options = default_options) engine specs =
+  if options.max_concurrency < 1 then
+    invalid_arg "Workload.run: max_concurrency < 1";
+  let catalog = Engine.catalog engine in
+  let rng = Rng.create options.seed in
+  let broker =
+    match options.memory with
+    | Shared_broker ->
+      Some
+        (Broker.create ~budget_pages:(Engine.budget_pages engine)
+           ~max_concurrency:options.max_concurrency)
+    | Fixed_per_query _ -> None
+  in
+  let cache = if options.feedback then Some (Stats_cache.create ()) else None in
+  let entries =
+    Array.of_list
+      (List.mapi
+         (fun i (s : spec) ->
+            let label =
+              if s.label = "" then Printf.sprintf "q%d" i else s.label
+            in
+            let jitter =
+              if options.arrival_jitter_ms > 0.0 then
+                Rng.float rng *. options.arrival_jitter_ms
+              else 0.0
+            in
+            { e_spec = s;
+              e_index = i;
+              e_label = label;
+              e_arrival = s.arrival_ms +. jitter;
+              e_state = Waiting;
+              e_admit = 0.0;
+              e_finish = 0.0;
+              e_report = None })
+         specs)
+  in
+  let running = ref 0 in
+  let queue = Admission.create ~capacity:options.max_queue in
+  let rejected = ref [] in
+  (* queries submitted but not yet started: the broker reserves an
+     admission floor for each so early leases leave them room *)
+  let pending = ref (Array.length entries) in
+  let note_started () =
+    decr pending;
+    match broker with Some b -> Broker.set_pending b !pending | None -> ()
+  in
+  (match broker with Some b -> Broker.set_pending b !pending | None -> ());
+  let can_start () =
+    !running < options.max_concurrency
+    && (match broker with None -> true | Some b -> Broker.can_admit b)
+  in
+  let admit e ~now =
+    let i = e.e_index in
+    let budget_pages =
+      match options.memory with
+      | Fixed_per_query pages -> Some pages
+      | Shared_broker -> None
+    in
+    let broker_fn =
+      Option.map
+        (fun b ~min_pages ~max_pages ->
+           Broker.lease b ~id:i ~min_pages ~max_pages)
+        broker
+    in
+    let env_overlay =
+      Option.map (fun c q env -> Stats_cache.overlay c catalog q env) cache
+    in
+    let cfg =
+      Engine.dispatcher_config engine ~mode:e.e_spec.mode ?budget_pages
+        ?broker:broker_fn ?env_overlay
+        ~temp_prefix:(Printf.sprintf "_w%d" i) ()
+    in
+    let query = Engine.bind_sql engine e.e_spec.sql in
+    note_started ();
+    let r = Dispatcher.start cfg query in
+    e.e_admit <- Float.max e.e_arrival now;
+    e.e_state <- Running (query, r);
+    incr running
+  in
+  let on_complete e run query (rep : Dispatcher.report) =
+    e.e_report <- Some rep;
+    e.e_finish <- e.e_admit +. Dispatcher.run_elapsed_ms run;
+    e.e_state <- Done;
+    decr running;
+    (match broker with Some b -> Broker.release b ~id:e.e_index | None -> ());
+    (match cache with
+     | Some c -> Stats_cache.publish c catalog query rep
+     | None -> ());
+    (* queued queries get first claim on the freed pages... *)
+    let rec drain () =
+      if can_start () then
+        match Admission.take queue with
+        | Some w ->
+          admit w ~now:e.e_finish;
+          drain ()
+        | None -> ()
+    in
+    drain ();
+    (* ...and whatever is left tops up the queries still in flight *)
+    match broker with
+    | None -> ()
+    | Some _ ->
+      Array.iter
+        (fun o ->
+           match o.e_state with
+           | Running (_, r) when o.e_index <> e.e_index ->
+             Dispatcher.refresh_memory r
+           | _ -> ())
+        entries
+  in
+  (* submit the batch: run immediately when a slot (and, under the broker,
+     enough free memory) is available; otherwise wait in priority order;
+     shed when the queue is full *)
+  Array.iter
+    (fun e ->
+       if can_start () then admit e ~now:e.e_arrival
+       else if Admission.offer queue ~priority:e.e_spec.priority e then ()
+       else begin
+         e.e_state <- Shed;
+         note_started ();  (* shed queries will never claim their floor *)
+         rejected := (e.e_index, e.e_label) :: !rejected
+       end)
+    entries;
+  (* round-robin: one execution unit per running query per sweep *)
+  let rec drive () =
+    let progressed = ref false in
+    Array.iter
+      (fun e ->
+         match e.e_state with
+         | Running (query, r) ->
+           progressed := true;
+           (match Dispatcher.step r with
+            | Some rep -> on_complete e r query rep
+            | None -> ())
+         | Waiting | Done | Shed -> ())
+      entries;
+    if !progressed then drive ()
+  in
+  drive ();
+  let results =
+    Array.to_list entries
+    |> List.filter_map (fun e ->
+      match e.e_report with
+      | None -> None
+      | Some rep ->
+        Some
+          { label = e.e_label;
+            index = e.e_index;
+            report = rep;
+            arrival_ms = e.e_arrival;
+            admit_ms = e.e_admit;
+            queue_ms = e.e_admit -. e.e_arrival;
+            finish_ms = e.e_finish })
+  in
+  let makespan_ms =
+    List.fold_left (fun acc r -> Float.max acc r.finish_ms) 0.0 results
+  in
+  let total_exec_ms =
+    List.fold_left (fun acc r -> acc +. (r.finish_ms -. r.admit_ms)) 0.0 results
+  in
+  let total_queue_ms =
+    List.fold_left (fun acc r -> acc +. r.queue_ms) 0.0 results
+  in
+  { results;
+    rejected = List.rev !rejected;
+    makespan_ms;
+    total_exec_ms;
+    total_queue_ms;
+    peak_leased_pages =
+      (match broker with Some b -> Broker.peak_leased b | None -> 0);
+    outstanding_leases =
+      (match broker with Some b -> Broker.outstanding b | None -> 0);
+    stats_published =
+      (match cache with Some c -> Stats_cache.published c | None -> 0);
+    stats_applied =
+      (match cache with Some c -> Stats_cache.applied c | None -> 0) }
+
+let pp fmt (r : report) =
+  Fmt.pf fmt "@[<v>workload: %d completed, %d rejected@,"
+    (List.length r.results)
+    (List.length r.rejected);
+  List.iter
+    (fun q ->
+       Fmt.pf fmt "  %-16s arrive %8.1f  queued %8.1f  exec %9.1f  finish %9.1f@,"
+         q.label q.arrival_ms q.queue_ms
+         (q.finish_ms -. q.admit_ms)
+         q.finish_ms)
+    r.results;
+  List.iter
+    (fun (i, label) -> Fmt.pf fmt "  %-16s rejected (queue full, index %d)@," label i)
+    r.rejected;
+  Fmt.pf fmt
+    "  makespan %.1f ms  total exec %.1f ms  total queue %.1f ms@,\
+    \  peak leased %d pages  stats published %d / applied %d@]"
+    r.makespan_ms r.total_exec_ms r.total_queue_ms r.peak_leased_pages
+    r.stats_published r.stats_applied

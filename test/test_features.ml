@@ -273,6 +273,18 @@ let test_plan_cache_invalidated_by_updates () =
   Alcotest.(check bool) "re-optimized after drift" true
     (r.Dispatcher.counters.Sim_clock.opt_invocations >= 1)
 
+let test_plan_cache_invalidated_by_analyze () =
+  let catalog = small_catalog () in
+  let engine = Engine.create ~plan_cache:true catalog in
+  let sql = "select grp, count(*) as n from items group by grp" in
+  ignore (Engine.run_sql engine sql);
+  (* ANALYZE refreshes statistics without any update activity — the update
+     counter stays 0, so only the stats epoch can reveal the change *)
+  Engine.analyze engine ~keys:[ "id" ] "items";
+  let r = Engine.run_sql engine sql in
+  Alcotest.(check bool) "re-optimized after analyze" true
+    (r.Dispatcher.counters.Sim_clock.opt_invocations >= 1)
+
 let test_plan_cache_per_mode () =
   let catalog = small_catalog () in
   let engine = Engine.create ~plan_cache:true catalog in
@@ -300,4 +312,5 @@ let suite =
     Alcotest.test_case "merge-join plans agree" `Quick test_merge_join_only_plans;
     Alcotest.test_case "plan cache hits" `Quick test_plan_cache_hits;
     Alcotest.test_case "plan cache invalidation" `Quick test_plan_cache_invalidated_by_updates;
+    Alcotest.test_case "plan cache analyze invalidation" `Quick test_plan_cache_invalidated_by_analyze;
     Alcotest.test_case "plan cache per mode" `Quick test_plan_cache_per_mode ]

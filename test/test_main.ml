@@ -17,4 +17,5 @@ let () =
       ("more", Test_more.suite);
       ("persist", Test_persist.suite);
       ("parallel", Test_parallel.suite);
-      ("tpcd", Test_tpcd.suite) ]
+      ("tpcd", Test_tpcd.suite);
+      ("wlm", Test_wlm.suite) ]

@@ -1,0 +1,201 @@
+(* Workload manager: broker invariants, admission control, determinism,
+   and concurrent-equals-serial results. *)
+module Engine = Mqr_core.Engine
+module Dispatcher = Mqr_core.Dispatcher
+module Broker = Mqr_wlm.Broker
+module Admission = Mqr_wlm.Admission
+module Wl = Mqr_wlm.Workload
+module Queries = Mqr_tpcd.Queries
+module Tpcd = Mqr_tpcd.Workload
+
+let engine () =
+  let catalog = Tpcd.experiment_catalog ~sf:0.001 () in
+  Engine.create ~budget_pages:64 ~pool_pages:512 catalog
+
+let specs names =
+  List.map
+    (fun n -> Wl.spec ~label:n (Queries.find n).Queries.sql)
+    names
+
+let serial_options =
+  { Wl.default_options with
+    Wl.max_concurrency = 1;
+    memory = Wl.Fixed_per_query 64;
+    feedback = false }
+
+(* --- broker --- *)
+
+let test_broker_never_oversubscribes () =
+  let b = Broker.create ~budget_pages:100 ~max_concurrency:4 in
+  let sum_ok () =
+    Alcotest.(check bool) "sum of leases <= budget" true
+      (Broker.total_leased b <= Broker.budget_pages b)
+  in
+  Alcotest.(check int) "greedy lease capped at budget" 100
+    (Broker.lease b ~id:1 ~min_pages:10 ~max_pages:400);
+  sum_ok ();
+  Alcotest.(check int) "nothing left for the second query" 0
+    (Broker.lease b ~id:2 ~min_pages:10 ~max_pages:50);
+  sum_ok ();
+  (* shrinking re-negotiation returns the difference to the pool *)
+  Alcotest.(check int) "shrink to 30" 30
+    (Broker.lease b ~id:1 ~min_pages:10 ~max_pages:30);
+  Alcotest.(check int) "freed pages available again" 50
+    (Broker.lease b ~id:2 ~min_pages:10 ~max_pages:50);
+  sum_ok ();
+  Broker.release b ~id:1;
+  Broker.release b ~id:2;
+  Alcotest.(check int) "all pages back" 100 (Broker.free_pages b);
+  Alcotest.(check int) "no leases outstanding" 0 (Broker.outstanding b)
+
+let test_broker_reserves_floor_for_pending () =
+  let b = Broker.create ~budget_pages:100 ~max_concurrency:4 in
+  Broker.set_pending b 3;
+  (* floor is 25; three pending queries keep 75 pages in reserve *)
+  Alcotest.(check int) "greedy lease leaves room for the batch" 25
+    (Broker.lease b ~id:1 ~min_pages:1 ~max_pages:400);
+  Broker.set_pending b 0;
+  Alcotest.(check int) "reservation relaxes once the batch started" 100
+    (Broker.lease b ~id:1 ~min_pages:1 ~max_pages:400)
+
+let test_broker_admission_floor () =
+  let b = Broker.create ~budget_pages:100 ~max_concurrency:4 in
+  Alcotest.(check bool) "admits when free" true (Broker.can_admit b);
+  ignore (Broker.lease b ~id:1 ~min_pages:80 ~max_pages:80);
+  Alcotest.(check bool) "refuses below the floor" false (Broker.can_admit b);
+  Broker.release b ~id:1;
+  Alcotest.(check bool) "admits again after release" true (Broker.can_admit b)
+
+(* --- admission queue --- *)
+
+let test_admission_priority_order () =
+  let q = Admission.create ~capacity:3 in
+  Alcotest.(check bool) "offer a" true (Admission.offer q ~priority:0 "a");
+  Alcotest.(check bool) "offer b" true (Admission.offer q ~priority:5 "b");
+  Alcotest.(check bool) "offer c" true (Admission.offer q ~priority:5 "c");
+  Alcotest.(check bool) "full" false (Admission.offer q ~priority:9 "d");
+  Alcotest.(check (option string)) "highest priority first" (Some "b")
+    (Admission.take q);
+  Alcotest.(check (option string)) "fifo within a priority" (Some "c")
+    (Admission.take q);
+  Alcotest.(check (option string)) "lowest last" (Some "a") (Admission.take q);
+  Alcotest.(check (option string)) "empty" None (Admission.take q)
+
+(* --- workload --- *)
+
+let canonical_by_label (r : Wl.report) =
+  List.map
+    (fun (q : Wl.query_result) ->
+       (q.Wl.label, Reference.canonical q.Wl.report.Dispatcher.rows))
+    r.Wl.results
+
+let test_concurrent_matches_serial () =
+  let names = [ "Q3"; "Q6"; "Q10"; "Q5" ] in
+  let serial = Wl.run ~options:serial_options (engine ()) (specs names) in
+  let conc =
+    Wl.run
+      ~options:{ Wl.default_options with Wl.max_concurrency = 4 }
+      (engine ()) (specs names)
+  in
+  Alcotest.(check int) "all completed" 4 (List.length conc.Wl.results);
+  List.iter2
+    (fun (label, serial_rows) (label', conc_rows) ->
+       Alcotest.(check string) "same order" label label';
+       Alcotest.(check (list (list string))) (label ^ " same rows")
+         serial_rows conc_rows)
+    (canonical_by_label serial) (canonical_by_label conc);
+  List.iter2
+    (fun (a : Wl.query_result) (b : Wl.query_result) ->
+       Alcotest.(check bool) (a.Wl.label ^ " bit-identical rows") true
+         (a.Wl.report.Dispatcher.rows = b.Wl.report.Dispatcher.rows))
+    serial.Wl.results conc.Wl.results;
+  Alcotest.(check int) "no lease outlives its query" 0
+    conc.Wl.outstanding_leases;
+  Alcotest.(check bool) "peak within budget" true
+    (conc.Wl.peak_leased_pages <= 64);
+  Alcotest.(check bool) "overlap beats serial makespan" true
+    (conc.Wl.makespan_ms < serial.Wl.makespan_ms);
+  Alcotest.(check bool) "serial batch queues" true
+    (serial.Wl.total_queue_ms > 0.0)
+
+let test_workload_deterministic () =
+  let names = [ "Q3"; "Q6"; "Q10" ] in
+  let options =
+    { Wl.default_options with
+      Wl.max_concurrency = 2;
+      arrival_jitter_ms = 100.0;
+      seed = 42 }
+  in
+  let r1 = Wl.run ~options (engine ()) (specs names) in
+  let r2 = Wl.run ~options (engine ()) (specs names) in
+  Alcotest.(check (float 0.0)) "same makespan" r1.Wl.makespan_ms
+    r2.Wl.makespan_ms;
+  List.iter2
+    (fun (a : Wl.query_result) (b : Wl.query_result) ->
+       Alcotest.(check (float 0.0)) (a.Wl.label ^ " same arrival")
+         a.Wl.arrival_ms b.Wl.arrival_ms;
+       Alcotest.(check (float 0.0)) (a.Wl.label ^ " same admit") a.Wl.admit_ms
+         b.Wl.admit_ms;
+       Alcotest.(check (float 0.0)) (a.Wl.label ^ " same finish")
+         a.Wl.finish_ms b.Wl.finish_ms;
+       Alcotest.(check (list (list string))) (a.Wl.label ^ " same rows")
+         (Reference.canonical a.Wl.report.Dispatcher.rows)
+         (Reference.canonical b.Wl.report.Dispatcher.rows))
+    r1.Wl.results r2.Wl.results
+
+let test_rejection_when_queue_full () =
+  let names = [ "Q6"; "Q6"; "Q6" ] in
+  let options =
+    { serial_options with Wl.max_queue = 1 }
+  in
+  let r = Wl.run ~options (engine ()) (specs names) in
+  Alcotest.(check int) "two completed" 2 (List.length r.Wl.results);
+  Alcotest.(check (list (pair int string))) "third was shed" [ (2, "Q6") ]
+    r.Wl.rejected
+
+let test_priority_jumps_the_queue () =
+  let base = (Queries.find "Q6").Queries.sql in
+  let batch =
+    [ Wl.spec ~label:"first" ~priority:0 base;
+      Wl.spec ~label:"low" ~priority:0 base;
+      Wl.spec ~label:"high" ~priority:5 base ]
+  in
+  let r = Wl.run ~options:serial_options (engine ()) batch in
+  let admit label =
+    (List.find (fun (q : Wl.query_result) -> q.Wl.label = label) r.Wl.results)
+      .Wl.admit_ms
+  in
+  Alcotest.(check bool) "high priority admitted before low" true
+    (admit "high" < admit "low")
+
+let test_feedback_applies_stats () =
+  let names = [ "Q10"; "Q10" ] in
+  let options =
+    { Wl.default_options with
+      Wl.max_concurrency = 1;
+      memory = Wl.Fixed_per_query 64 }
+  in
+  let r = Wl.run ~options (engine ()) (specs names) in
+  Alcotest.(check bool) "first run published" true (r.Wl.stats_published > 0);
+  Alcotest.(check bool) "second run applied cached stats" true
+    (r.Wl.stats_applied > 0)
+
+let suite =
+  [ Alcotest.test_case "broker never oversubscribes" `Quick
+      test_broker_never_oversubscribes;
+    Alcotest.test_case "broker reserves floor for pending" `Quick
+      test_broker_reserves_floor_for_pending;
+    Alcotest.test_case "broker admission floor" `Quick
+      test_broker_admission_floor;
+    Alcotest.test_case "admission priority order" `Quick
+      test_admission_priority_order;
+    Alcotest.test_case "concurrent matches serial" `Quick
+      test_concurrent_matches_serial;
+    Alcotest.test_case "workload deterministic" `Quick
+      test_workload_deterministic;
+    Alcotest.test_case "rejection when queue full" `Quick
+      test_rejection_when_queue_full;
+    Alcotest.test_case "priority jumps the queue" `Quick
+      test_priority_jumps_the_queue;
+    Alcotest.test_case "feedback applies stats" `Quick
+      test_feedback_applies_stats ]
