@@ -389,6 +389,66 @@ let scalability () =
     "@.Sub-linear speedup: repartitioning pays the interconnect, as on the      paper's cluster.@."
 
 (* ------------------------------------------------------------------ *)
+(* Runtime filters: bloom/min-max sideways information passing.        *)
+
+let runtime_filters () =
+  (* A budget tight enough that mid-size hash-join builds spill: the
+     filter's probe-side pruning then saves partitioning I/O, not just
+     per-tuple CPU. *)
+  let rf_budget = max 20 (budget_pages / 8) in
+  header
+    (Fmt.str
+       "Runtime filters - join-heavy queries, filters off vs on \
+        (mode=off, sf=%g, budget=%d pages)"
+       sf rf_budget);
+  let catalog =
+    Workload.experiment_catalog ~sf
+      ~degradations:Workload.paper_degradations ()
+  in
+  (* both engines share one catalog: identical data, the flag is the only
+     difference *)
+  let engine_off =
+    Engine.create ~budget_pages:rf_budget ~pool_pages:(8 * rf_budget) catalog
+  in
+  let engine_on =
+    Engine.create ~budget_pages:rf_budget ~pool_pages:(8 * rf_budget)
+      ~runtime_filters:true catalog
+  in
+  Fmt.pr "%-5s %6s | %12s %12s %9s %8s  %s@." "query" "joins" "off(ms)"
+    "on(ms)" "improv%" "filters" "identical";
+  List.iter
+    (fun name ->
+       let q = Queries.find name in
+       let scenario = "rf/" ^ name in
+       let off = Engine.run_sql engine_off ~mode:Dispatcher.Off q.Queries.sql in
+       let on = Engine.run_sql engine_on ~mode:Dispatcher.Off q.Queries.sql in
+       record ~scenario ~mode:"rf-off" ~elapsed_ms:off.Dispatcher.elapsed_ms
+         ~switches:off.Dispatcher.switches
+         ~collectors:off.Dispatcher.collectors;
+       record ~scenario ~mode:"rf-on" ~elapsed_ms:on.Dispatcher.elapsed_ms
+         ~switches:on.Dispatcher.switches ~collectors:on.Dispatcher.collectors;
+       (* filters must never change the result; plans may differ, so
+          compare as multisets *)
+       let canon (r : Dispatcher.report) =
+         List.sort compare
+           (Array.to_list
+              (Array.map (Fmt.str "%a" Mqr_storage.Tuple.pp) r.Dispatcher.rows))
+       in
+       let identical = canon off = canon on in
+       Fmt.pr "%-5s %6d | %12.1f %12.1f %8.1f%% %8d  %s@." name
+         q.Queries.joins off.Dispatcher.elapsed_ms on.Dispatcher.elapsed_ms
+         (pct_improvement ~normal:off.Dispatcher.elapsed_ms
+            ~reopt:on.Dispatcher.elapsed_ms)
+         (List.length on.Dispatcher.filters)
+         (if identical then "yes" else "** MISMATCH **"))
+    [ "Q3"; "Q5"; "Q7"; "Q8"; "Q10" ];
+  Fmt.pr
+    "@.A filter built from a join's finished build side prunes probe-side \
+     scans before@.they pay hashing, sorting and partitioning I/O; bloom \
+     filters have no false@.negatives and min-max pruning is exact, so \
+     results are identical.@."
+
+(* ------------------------------------------------------------------ *)
 (* Workload manager: a concurrent batch against the serial baseline.   *)
 
 let wlm () =
@@ -496,8 +556,13 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  (match which with
+  let which =
+    if Array.length Sys.argv > 1 then
+      List.tl (Array.to_list Sys.argv)
+    else [ "all" ]
+  in
+  List.iter (fun which ->
+  match which with
    | "f10" -> figure10 ()
    | "f11" -> figure11 ()
    | "f12" -> figure12 ()
@@ -508,6 +573,7 @@ let () =
    | "hist" -> ablation_histograms ()
    | "hybrid" -> hybrid ()
    | "scale" -> scalability ()
+   | "rf" -> runtime_filters ()
    | "wlm" -> wlm ()
    | "micro" -> micro ()
    | "figures" ->
@@ -525,12 +591,14 @@ let () =
      ablation_histograms ();
      hybrid ();
      scalability ();
+     runtime_filters ();
      wlm ();
      micro ()
    | other ->
      Fmt.epr
        "unknown experiment %S (f10 f11 f12 xfig3 sens overhead joins hist \
-        hybrid scale wlm micro all)@."
+        hybrid scale rf wlm micro all)@."
        other;
-     exit 1);
+     exit 1)
+    which;
   emit_json ()

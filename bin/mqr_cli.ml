@@ -47,6 +47,12 @@ let pristine_arg =
              degradations used by the experiments)." in
   Arg.(value & flag & info [ "pristine" ] ~doc)
 
+let rf_arg =
+  let doc = "Enable runtime join filters: a finished hash/merge-join build \
+             side publishes a bloom filter plus min-max bounds that prune \
+             the probe-side scans (sideways information passing)." in
+  Arg.(value & flag & info [ "runtime-filters" ] ~doc)
+
 (* user-facing errors (bad SQL, missing tables/files) print cleanly
    instead of dying with a backtrace *)
 let friendly action =
@@ -64,15 +70,16 @@ let resolve_sql q =
   | query -> query.Queries.sql
   | exception Invalid_argument _ -> q
 
-let make_engine ~sf ~skew ~budget ~pristine =
+let make_engine ?(runtime_filters = false) ~sf ~skew ~budget ~pristine () =
   let degradations = if pristine then [] else Workload.paper_degradations in
   let catalog = Workload.experiment_catalog ~sf ~skew_z:skew ~degradations () in
-  Engine.create ~budget_pages:budget ~pool_pages:(8 * budget) catalog
+  Engine.create ~budget_pages:budget ~pool_pages:(8 * budget) ~runtime_filters
+    catalog
 
 let run_cmd =
-  let action query sf skew budget mode verbose pristine =
+  let action query sf skew budget mode verbose pristine runtime_filters =
     friendly @@ fun () ->
-    let engine = make_engine ~sf ~skew ~budget ~pristine in
+    let engine = make_engine ~runtime_filters ~sf ~skew ~budget ~pristine () in
     let sql = resolve_sql query in
     Fmt.pr "running [%s]: %s@.@." (Dispatcher.mode_to_string mode) sql;
     let report = Engine.run_sql engine ~mode sql in
@@ -94,22 +101,22 @@ let run_cmd =
   let info = Cmd.info "run" ~doc:"Execute a query." in
   Cmd.v info
     Term.(const action $ query_arg $ sf_arg $ skew_arg $ budget_arg
-          $ mode_arg $ verbose_arg $ pristine_arg)
+          $ mode_arg $ verbose_arg $ pristine_arg $ rf_arg)
 
 let explain_cmd =
-  let action query sf skew budget pristine =
+  let action query sf skew budget pristine runtime_filters =
     friendly @@ fun () ->
-    let engine = make_engine ~sf ~skew ~budget ~pristine in
+    let engine = make_engine ~runtime_filters ~sf ~skew ~budget ~pristine () in
     Fmt.pr "%s@." (Mqr_opt.Plan.to_string (Engine.explain engine (resolve_sql query)))
   in
   let info = Cmd.info "explain" ~doc:"Show the annotated plan without executing." in
   Cmd.v info
     Term.(const action $ query_arg $ sf_arg $ skew_arg $ budget_arg
-          $ pristine_arg)
+          $ pristine_arg $ rf_arg)
 
 let repl_cmd =
   let action sf skew budget pristine =
-    let engine = make_engine ~sf ~skew ~budget ~pristine in
+    let engine = make_engine ~sf ~skew ~budget ~pristine () in
     let mode = ref Dispatcher.Full in
     Fmt.pr "mqr repl over a generated TPC-D catalog (sf=%g).@." sf;
     Fmt.pr
@@ -280,7 +287,7 @@ let workload_cmd =
   let action queries sf skew budget mode pristine concurrency queue fixed
       no_feedback jitter seed =
     friendly @@ fun () ->
-    let engine = make_engine ~sf ~skew ~budget ~pristine in
+    let engine = make_engine ~sf ~skew ~budget ~pristine () in
     let specs =
       List.map
         (fun q ->

@@ -16,6 +16,7 @@ module Sort_op = Mqr_exec.Sort
 module Merge_join = Mqr_exec.Merge_join
 module Aggregate = Mqr_exec.Aggregate
 module Collector = Mqr_exec.Collector
+module Runtime_filter = Mqr_exec.Runtime_filter
 
 let log_src = Logs.Src.create "mqr.dispatcher" ~doc:"Mid-query re-optimization"
 
@@ -71,6 +72,15 @@ type event =
     }
   | Ev_rejected of { t_new_total : float; t_improved : float }
   | Ev_sampled of Sampling.probe
+  | Ev_filter of {
+      source : string;      (* publishing join *)
+      target_col : string;  (* probe-side column being pruned *)
+      est_sel : float;
+      observed_sel : float;
+      probed : int;
+      dropped : int;
+      pages : int;          (* bloom bitmap pages leased *)
+    }
 
 type report = {
   rows : Tuple.t array;
@@ -93,6 +103,12 @@ type report = {
          collectors; outlives the query (paper Section 2.6) *)
   observed_cards : (string * int) list;
       (* alias -> exact cardinality, for relations scanned in full *)
+  filters : (string * float * float) list;
+      (* (probe column, estimated selectivity, observed selectivity) for
+         every runtime filter built, in build order *)
+  filter_pages_peak : int;
+      (* most bloom-bitmap pages held at once (leased from the broker when
+         one is configured) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -122,6 +138,17 @@ type state = {
   actuals : (int, int) Hashtbl.t;
   (* simulated milliseconds spent inside each node (children excluded) *)
   actual_ms : (int, float) Hashtbl.t;
+  (* runtime filters currently pushed down (publishing join's build side
+     done, probe side executing); scans test their output against these *)
+  mutable active_filters : Runtime_filter.t list;
+  (* bloom-bitmap pages currently held / high-water mark *)
+  mutable filter_pages : int;
+  mutable filter_pages_peak : int;
+  (* (probe column, est sel, observed sel) per retired filter, newest first *)
+  mutable filter_obs : (string * float * float) list;
+  (* a retired filter's pass rate deviated badly from the estimate: force
+     the next decision point past the Eq. 2 close-enough shortcut *)
+  mutable filter_surprise : bool;
 }
 
 (* forward declaration for logging of events (defined below) *)
@@ -162,6 +189,116 @@ let bare_column col =
 
 let heap_of st table = (Catalog.find_exn st.cfg.catalog table).Catalog.heap
 
+(* --- runtime-filter lifecycle ------------------------------------- *)
+
+(* Bloom bitmap pages are working memory: leased from the broker on top of
+   the remaining plan's demand when one is configured, else capped at a
+   quarter of the fixed per-query budget.  Held only while the publishing
+   join's probe side runs, so they are always back to zero at decision
+   points and at query completion. *)
+let acquire_filter_pages st want =
+  if want <= 0 then 0
+  else begin
+    let got =
+      match st.cfg.broker with
+      | None ->
+        let cap = max 1 (st.cfg.budget_pages / 4) in
+        min want (max 0 (cap - st.filter_pages))
+      | Some lease ->
+        let min_d, max_d = Memory_manager.plan_demand st.current in
+        let tentative = st.filter_pages + want in
+        let budget =
+          lease ~min_pages:(min_d + tentative) ~max_pages:(max_d + tentative)
+        in
+        (* pages the lease grants beyond the plan's hard minimum are
+           available to filters *)
+        let covered = max 0 (budget - min_d) in
+        let shortfall = max 0 (tentative - covered) in
+        let got = max 0 (want - shortfall) in
+        if got < want then
+          (* shrink the lease back to what we actually hold *)
+          ignore
+            (lease ~min_pages:(min_d + st.filter_pages + got)
+               ~max_pages:(max_d + st.filter_pages + got));
+        got
+    in
+    st.filter_pages <- st.filter_pages + got;
+    if st.filter_pages > st.filter_pages_peak then
+      st.filter_pages_peak <- st.filter_pages;
+    got
+  end
+
+let release_filter_pages st n =
+  if n > 0 then begin
+    st.filter_pages <- max 0 (st.filter_pages - n);
+    match st.cfg.broker with
+    | None -> ()
+    | Some lease ->
+      let min_d, max_d = Memory_manager.plan_demand st.current in
+      ignore
+        (lease ~min_pages:(min_d + st.filter_pages)
+           ~max_pages:(max_d + st.filter_pages))
+  end
+
+(* Build one filter per annotation from the finished build/left side and
+   push it onto the active stack.  An annotation whose build column is
+   missing from the delivered schema (projected away) is skipped. *)
+let install_filters st ~source ~rf ~rows ~schema =
+  List.filter_map
+    (fun (f : Plan.rf) ->
+       match Schema.index_of schema f.Plan.rf_build_col with
+       | exception (Not_found | Schema.Ambiguous _) -> None
+       | key_idx ->
+         let want = Runtime_filter.pages_for ~keys:(Array.length rows) in
+         let got = acquire_filter_pages st want in
+         let flt =
+           Runtime_filter.create st.ctx ~source
+             ~build_col:f.Plan.rf_build_col ~target_col:f.Plan.rf_probe_col
+             ~est_sel:f.Plan.rf_sel ~max_pages:got ~key_idx rows
+         in
+         st.active_filters <- flt :: st.active_filters;
+         Some (flt, got))
+    rf
+
+(* Pop the filters once the probe side has run: report the observed pass
+   rate (feeding the re-optimization policy) and return the leased
+   pages. *)
+let retire_filters st installed =
+  List.iter
+    (fun ((flt : Runtime_filter.t), pages) ->
+       st.active_filters <- List.filter (fun g -> g != flt) st.active_filters;
+       let est = Runtime_filter.est_sel flt in
+       let obs = Runtime_filter.observed_sel flt in
+       emit st
+         (Ev_filter
+            { source = Runtime_filter.source flt;
+              target_col = Runtime_filter.target_col flt;
+              est_sel = est;
+              observed_sel = obs;
+              probed = Runtime_filter.probed flt;
+              dropped = Runtime_filter.dropped flt;
+              pages });
+       st.filter_obs <-
+         (Runtime_filter.target_col flt, est, obs) :: st.filter_obs;
+       if Runtime_filter.probed flt > 0
+       && Reopt_policy.filter_surprise st.cfg.params ~est ~obs
+       then st.filter_surprise <- true;
+       release_filter_pages st pages)
+    installed
+
+(* Test rows flowing out of a leaf against every active filter whose
+   target column the schema carries. *)
+let apply_runtime_filters st schema rows =
+  match st.active_filters with
+  | [] -> rows
+  | filters ->
+    List.fold_left
+      (fun rows flt ->
+         match Runtime_filter.applicable flt schema with
+         | Some idx -> Runtime_filter.apply st.ctx flt ~idx rows
+         | None -> rows)
+      rows filters
+
 let rec exec_node st (p : Plan.t) : Tuple.t array * Schema.t =
   let t0 = Sim_clock.snapshot st.ctx.Exec_ctx.clock in
   let rows, schema = exec_node_inner st p in
@@ -186,7 +323,7 @@ and exec_node_inner st (p : Plan.t) : Tuple.t array * Schema.t =
       | None -> rows
       | Some pred -> Rows_ops.filter ctx p.Plan.schema pred rows
     in
-    (rows, p.Plan.schema)
+    (apply_runtime_filters st p.Plan.schema rows, p.Plan.schema)
   | Plan.Index_scan { table; alias = _; index_col; lo; hi; filter } ->
     let tbl = Catalog.find_exn st.cfg.catalog table in
     let index =
@@ -200,7 +337,7 @@ and exec_node_inner st (p : Plan.t) : Tuple.t array * Schema.t =
       | None -> rows
       | Some pred -> Rows_ops.filter ctx p.Plan.schema pred rows
     in
-    (rows, p.Plan.schema)
+    (apply_runtime_filters st p.Plan.schema rows, p.Plan.schema)
   | Plan.Materialized { name; on_disk; _ } ->
     let rows, schema =
       match Hashtbl.find_opt st.store name with
@@ -214,9 +351,16 @@ and exec_node_inner st (p : Plan.t) : Tuple.t array * Schema.t =
       Sim_clock.charge_seq_read ctx.Exec_ctx.clock pages;
       Sim_clock.charge_cpu_tuples ctx.Exec_ctx.clock (Array.length rows)
     end;
-    (rows, schema)
+    (apply_runtime_filters st schema rows, schema)
   | Plan.Collect { input; spec; cid } ->
+    (* Collectors must observe the raw stream: statistics (and the exact
+       cardinality of a full scan) describe the relation, not what happens
+       to survive a runtime filter pushed down by the join above.  So the
+       filters are lifted over the collector and applied to its output. *)
+    let saved = st.active_filters in
+    st.active_filters <- [];
     let rows, schema = exec_node st input in
+    st.active_filters <- saved;
     (* an unfiltered full scan yields the relation's exact cardinality —
        a statistic worth keeping beyond the query (Section 2.6) *)
     (match input.Plan.node with
@@ -243,10 +387,15 @@ and exec_node_inner st (p : Plan.t) : Tuple.t array * Schema.t =
       | _ -> Plan.op_name input
     in
     emit st (Ev_collected { cid; alias; columns });
-    (rows, schema)
-  | Plan.Hash_join { build; probe; keys; extra } ->
+    (apply_runtime_filters st schema rows, schema)
+  | Plan.Hash_join { build; probe; keys; extra; rf } ->
     let build_rows, build_schema = exec_node st build in
+    let installed =
+      install_filters st ~source:(Plan.op_name p) ~rf ~rows:build_rows
+        ~schema:build_schema
+    in
     let probe_rows, probe_schema = exec_node st probe in
+    retire_filters st installed;
     let mem_pages = if p.Plan.mem > 0 then p.Plan.mem else p.Plan.max_mem in
     let r =
       Join.hash_join ctx ~mem_pages ~build:(build_rows, build_schema)
@@ -283,9 +432,15 @@ and exec_node_inner st (p : Plan.t) : Tuple.t array * Schema.t =
         ~inner:(inner_rows, inner_schema) ?pred ()
     in
     (r.Join.rows, r.Join.schema)
-  | Plan.Merge_join { left; right; keys; extra; left_sorted; right_sorted } ->
+  | Plan.Merge_join { left; right; keys; extra; left_sorted; right_sorted; rf }
+    ->
     let left_rows, left_schema = exec_node st left in
+    let installed =
+      install_filters st ~source:(Plan.op_name p) ~rf ~rows:left_rows
+        ~schema:left_schema
+    in
     let right_rows, right_schema = exec_node st right in
+    retire_filters st installed;
     let mem_pages = if p.Plan.mem > 0 then p.Plan.mem else p.Plan.max_mem in
     let r =
       Merge_join.merge_join ctx ~mem_pages ~left_sorted ~right_sorted
@@ -401,7 +556,7 @@ let remainder_query st (current : Plan.t) : Query.t =
       (match filter with
        | Some f -> add_conjuncts (Expr.conjuncts f)
        | None -> ())
-    | Plan.Hash_join { build; probe; keys; extra } ->
+    | Plan.Hash_join { build; probe; keys; extra; _ } ->
       walk build;
       walk probe;
       add_conjuncts
@@ -499,7 +654,7 @@ let count_leaf_relations (p : Plan.t) =
        | _ -> acc)
     0 p
 
-let try_replan st =
+let try_replan ?(force = false) st =
   let t_improved = st.current.Plan.est.Plan.total_ms in
   let t_optimizer =
     List.fold_left
@@ -519,8 +674,13 @@ let try_replan st =
   in
   emit st (Ev_considered { decision; t_improved; t_optimizer; t_opt_estimated });
   match decision with
-  | Reopt_policy.Too_cheap | Reopt_policy.Close_enough -> ()
-  | Reopt_policy.Consider ->
+  (* Eq. 1 is never overridden: when the remainder is cheap relative to
+     the optimizer invocation, re-planning cannot pay off no matter how
+     wrong the estimates are.  A filter surprise only overrides Eq. 2's
+     "close enough" — the estimates it was judged by are now suspect. *)
+  | Reopt_policy.Too_cheap -> ()
+  | Reopt_policy.Close_enough when not force -> ()
+  | Reopt_policy.Close_enough | Reopt_policy.Consider ->
     let rq = remainder_query st st.current in
     let env' = Stats_env.create st.cfg.catalog rq.Query.relations in
     (match st.cfg.env_overlay with
@@ -564,6 +724,8 @@ let try_replan st =
        else emit st (Ev_rejected { t_new_total; t_improved }))
 
 let decision_point st =
+  let force = st.filter_surprise in
+  st.filter_surprise <- false;
   (* improved estimates for the remainder *)
   st.current <- Optimizer.recost ~planning_mem:st.cfg.opt_options.Optimizer.planning_mem_pages
       ~model:st.cfg.model ~env:st.env st.current;
@@ -573,14 +735,14 @@ let decision_point st =
    | Plan_only ->
      if Plan.join_count st.current >= 1
      && st.switches < st.cfg.params.Reopt_policy.max_switches
-     then try_replan st
+     then try_replan ~force st
    | Full ->
      (* Re-allocation is free, so apply it first; a plan switch must then
         beat the re-allocated current plan, not the starved one. *)
      reallocate st;
      if Plan.join_count st.current >= 1
      && st.switches < st.cfg.params.Reopt_policy.max_switches
-     then try_replan st)
+     then try_replan ~force st)
 
 (* ------------------------------------------------------------------ *)
 (* Main loop.                                                          *)
@@ -650,7 +812,12 @@ let start ?prepared cfg query =
       next_temp = 0;
       next_id = max_id;
       actuals = Hashtbl.create 64;
-      actual_ms = Hashtbl.create 64 }
+      actual_ms = Hashtbl.create 64;
+      active_filters = [];
+      filter_pages = 0;
+      filter_pages_peak = 0;
+      filter_obs = [];
+      filter_surprise = false }
   in
   ignore (allocate_memory st);
   let plan0 =
@@ -672,6 +839,10 @@ let refresh_memory r =
   | _ -> ()
 
 let finished r = Option.is_some r.result
+
+(* Bloom-bitmap pages currently leased; zero whenever a unit is not
+   mid-execution (filters live strictly inside one unit). *)
+let filter_pages_held r = r.st.filter_pages
 
 let run_elapsed_ms r = Sim_clock.elapsed_ms r.st.ctx.Exec_ctx.clock
 
@@ -738,7 +909,9 @@ let step r =
            pool_hits = Buffer_pool.hits st.ctx.Exec_ctx.pool;
            pool_misses = Buffer_pool.misses st.ctx.Exec_ctx.pool;
            observed_stats = st.overrides;
-           observed_cards = st.observed_cards }
+           observed_cards = st.observed_cards;
+           filters = List.rev st.filter_obs;
+           filter_pages_peak = st.filter_pages_peak }
        in
        r.result <- Some report;
        Some report)
@@ -788,6 +961,14 @@ let pp_explain_analyze fmt (report : report) =
     List.iter (go (indent + 2)) (Plan.children p)
   in
   go 0 report.initial_plan;
+  List.iter
+    (fun (col, est, obs) ->
+       Fmt.pf fmt "runtime filter on %s: sel est=%.3f observed=%.3f@." col est
+         obs)
+    report.filters;
+  if report.filter_pages_peak > 0 then
+    Fmt.pf fmt "runtime filter memory: %d pages peak@."
+      report.filter_pages_peak;
   let accesses = report.pool_hits + report.pool_misses in
   Fmt.pf fmt "buffer pool: %d hits / %d misses (%.1f%% hit rate)@."
     report.pool_hits report.pool_misses
@@ -817,5 +998,11 @@ let pp_event fmt = function
     Fmt.pf fmt "new plan rejected: T_new=%.1fms >= T_improved=%.1fms"
       t_new_total t_improved
   | Ev_sampled probe -> Sampling.pp_probe fmt probe
+  | Ev_filter
+      { source; target_col; est_sel; observed_sel; probed; dropped; pages } ->
+    Fmt.pf fmt
+      "runtime filter from %s on %s: sel est=%.3f observed=%.3f (dropped \
+       %d/%d, %d pages)"
+      source target_col est_sel observed_sel dropped probed pages
 
 let () = pp_event_ref := pp_event

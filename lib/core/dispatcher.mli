@@ -74,6 +74,15 @@ type event =
     }
   | Ev_rejected of { t_new_total : float; t_improved : float }
   | Ev_sampled of Sampling.probe
+  | Ev_filter of {
+      source : string;      (** publishing join *)
+      target_col : string;  (** probe-side column pruned *)
+      est_sel : float;      (** optimizer's estimated pass fraction *)
+      observed_sel : float; (** actual pass fraction *)
+      probed : int;
+      dropped : int;
+      pages : int;          (** bloom bitmap pages leased *)
+    }  (** a runtime filter was retired after its probe side ran *)
 
 type report = {
   rows : Tuple.t array;
@@ -98,6 +107,12 @@ type report = {
           workload-level statistics cache *)
   observed_cards : (string * int) list;
       (** alias -> exact cardinality for relations scanned in full *)
+  filters : (string * float * float) list;
+      (** (probe column, estimated selectivity, observed selectivity) per
+          runtime filter built, in build order — the sideways information
+          passing audit trail *)
+  filter_pages_peak : int;
+      (** most bloom-bitmap pages held at once *)
 }
 
 (** Execute a bound query under the configuration.  [prepared] supplies a
@@ -128,6 +143,13 @@ val finished : run -> bool
 
 (** Simulated milliseconds this run has consumed so far. *)
 val run_elapsed_ms : run -> float
+
+(** Bloom-bitmap pages the run currently holds.  Filters live strictly
+    inside one execution unit, so this is 0 whenever the run is observable
+    from outside a [step] — at every decision point, after a mid-query
+    plan switch, and at completion (leased pages always return to the
+    broker). *)
+val filter_pages_held : run -> int
 
 (** Re-negotiate the run's memory lease against its broker and re-allocate
     over the remaining plan — lets the workload manager re-grant pages

@@ -19,15 +19,16 @@ type t = {
 
 let create ?(model = Sim_clock.default_model) ?(pool_pages = 2048)
     ?(budget_pages = 512) ?(params = Reopt_policy.default_params)
-    ?opt_options ?(plan_cache = false) catalog =
+    ?opt_options ?(runtime_filters = false) ?(plan_cache = false) catalog =
   (* Unless told otherwise, the optimizer assumes each memory consumer will
      receive about half the memory-manager budget. *)
   let opt_options =
     match opt_options with
-    | Some o -> o
+    | Some o -> { o with Optimizer.enable_runtime_filters = runtime_filters }
     | None ->
       { Optimizer.default_options with
-        Optimizer.planning_mem_pages = max 8 (budget_pages / 2) }
+        Optimizer.planning_mem_pages = max 8 (budget_pages / 2);
+        enable_runtime_filters = runtime_filters }
   in
   { catalog; model; pool_pages; budget_pages; params; opt_options;
     udfs = ref [];

@@ -15,15 +15,20 @@ type t
 
 (** [create catalog] builds an engine.  [pool_pages] is the buffer-pool
     capacity (default 2048), [budget_pages] the memory-manager budget
-    (default 512).  [plan_cache] enables the static-plan store of the
-    paper's Section 2.6: repeated queries skip optimization and collector
-    insertion until their tables drift (see {!Plan_cache}). *)
+    (default 512).  [runtime_filters] turns on bloom/min-max runtime join
+    filters (sideways information passing, see
+    {!Mqr_exec.Runtime_filter}); it overrides the flag inside
+    [opt_options] when both are given.  [plan_cache] enables the
+    static-plan store of the paper's Section 2.6: repeated queries skip
+    optimization and collector insertion until their tables drift (see
+    {!Plan_cache}). *)
 val create :
   ?model:Sim_clock.model ->
   ?pool_pages:int ->
   ?budget_pages:int ->
   ?params:Reopt_policy.params ->
   ?opt_options:Mqr_opt.Optimizer.options ->
+  ?runtime_filters:bool ->
   ?plan_cache:bool ->
   Mqr_catalog.Catalog.t -> t
 

@@ -43,6 +43,14 @@ let rec pred_has_udf = function
    UDF -> High; two or more distinct attributes -> one level worse than the
    worst attribute (correlations); single attribute -> that attribute's
    histogram level. *)
+(* How wrong a selectivity estimate turned out, as a level: within 2x ->
+   Low, within 4x -> Medium, beyond -> High.  Used to grade runtime-filter
+   estimates against their observed pass rates. *)
+let selectivity_error_level ~est ~obs =
+  let est = Float.max 1e-6 est and obs = Float.max 1e-6 obs in
+  let ratio = if est > obs then est /. obs else obs /. est in
+  if ratio < 2.0 then Low else if ratio < 4.0 then Medium else High
+
 let filter_level env = function
   | None -> Low
   | Some pred ->
@@ -69,7 +77,7 @@ let rec cardinality_level env (p : Plan.t) =
   | Plan.Seq_scan { filter; _ } | Plan.Index_scan { filter; _ } ->
     filter_level env filter
   | Plan.Materialized _ -> Low  (* observed exactly *)
-  | Plan.Hash_join { build; probe; keys; extra } ->
+  | Plan.Hash_join { build; probe; keys; extra; _ } ->
     let inputs =
       max_level (cardinality_level env build) (cardinality_level env probe)
     in

@@ -21,11 +21,26 @@ type result = {
   passes : int;
 }
 
-module Key = struct
-  type t = Value.t list
+module VKey = struct
+  type t = Value.t
 
-  let equal a b = List.equal Value.equal a b
-  let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 k
+  let equal = Value.equal
+  let hash = Value.hash
+end
+
+module Vtbl = Hashtbl.Make (VKey)
+
+module Key = struct
+  type t = Value.t array
+
+  let equal a b =
+    let n = Array.length a in
+    n = Array.length b
+    &&
+    let rec go i = i >= n || (Value.equal a.(i) b.(i) && go (i + 1)) in
+    go 0
+
+  let hash k = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 k
 end
 
 module Ktbl = Hashtbl.Make (Key)
@@ -34,8 +49,12 @@ let hash_join ctx ~mem_pages ~build:(build_rows, build_schema)
     ~probe:(probe_rows, probe_schema) ~keys ?extra () =
   let clock = ctx.Exec_ctx.clock in
   let out_schema = Schema.concat probe_schema build_schema in
-  let probe_idx = List.map (fun (p, _) -> Schema.index_of probe_schema p) keys in
-  let build_idx = List.map (fun (_, b) -> Schema.index_of build_schema b) keys in
+  let probe_idx =
+    Array.of_list (List.map (fun (p, _) -> Schema.index_of probe_schema p) keys)
+  in
+  let build_idx =
+    Array.of_list (List.map (fun (_, b) -> Schema.index_of build_schema b) keys)
+  in
   let build_bytes = Rows_ops.bytes_of_rows build_rows in
   let probe_bytes = Rows_ops.bytes_of_rows probe_rows in
   let build_pages = Exec_ctx.pages_of_bytes build_bytes in
@@ -49,34 +68,61 @@ let hash_join ctx ~mem_pages ~build:(build_rows, build_schema)
     Sim_clock.charge_hash_tuples clock
       (Array.length build_rows + Array.length probe_rows)
   done;
-  (* The in-memory join itself (final pass). *)
-  let table = Ktbl.create (max 16 (Array.length build_rows)) in
-  Array.iter
-    (fun t ->
-       let k = List.map (fun i -> t.(i)) build_idx in
-       if not (List.exists Value.is_null k) then
-         Ktbl.add table k t)
-    build_rows;
-  Sim_clock.charge_hash_tuples clock (Array.length build_rows);
   let residual =
     Option.map (fun e -> Mqr_expr.Expr.compile_pred out_schema e) extra
   in
   let out = ref [] in
   let n_out = ref 0 in
-  Array.iter
-    (fun pt ->
-       let k = List.map (fun i -> pt.(i)) probe_idx in
-       if not (List.exists Value.is_null k) then
-         List.iter
-           (fun bt ->
-              let joined = Tuple.concat pt bt in
-              match residual with
-              | Some p when not (p joined) -> ()
-              | _ ->
-                out := joined :: !out;
-                incr n_out)
-           (Ktbl.find_all table k))
-    probe_rows;
+  let emit pt bt =
+    let joined = Tuple.concat pt bt in
+    match residual with
+    | Some p when not (p joined) -> ()
+    | _ ->
+      out := joined :: !out;
+      incr n_out
+  in
+  (* The in-memory join itself (final pass).  Single-key joins use the
+     value directly as the table key; multi-key joins build one key array
+     per stored build tuple and reuse a scratch array for probe lookups,
+     so the hot loops allocate nothing per probe tuple. *)
+  (match build_idx with
+   | [| bi |] ->
+     let pi = probe_idx.(0) in
+     let table = Vtbl.create (max 16 (Array.length build_rows)) in
+     Array.iter
+       (fun t ->
+          let k = t.(bi) in
+          if not (Value.is_null k) then Vtbl.add table k t)
+       build_rows;
+     Array.iter
+       (fun pt ->
+          let k = pt.(pi) in
+          if not (Value.is_null k) then
+            List.iter (emit pt) (Vtbl.find_all table k))
+       probe_rows
+   | _ ->
+     let nk = Array.length build_idx in
+     let has_null t idx =
+       let rec go i = i < nk && (Value.is_null t.(idx.(i)) || go (i + 1)) in
+       go 0
+     in
+     let table = Ktbl.create (max 16 (Array.length build_rows)) in
+     Array.iter
+       (fun t ->
+          if not (has_null t build_idx) then
+            Ktbl.add table (Array.map (fun i -> t.(i)) build_idx) t)
+       build_rows;
+     let scratch = Array.make nk Value.Null in
+     Array.iter
+       (fun pt ->
+          if not (has_null pt probe_idx) then begin
+            for i = 0 to nk - 1 do
+              scratch.(i) <- pt.(probe_idx.(i))
+            done;
+            List.iter (emit pt) (Ktbl.find_all table scratch)
+          end)
+       probe_rows);
+  Sim_clock.charge_hash_tuples clock (Array.length build_rows);
   Sim_clock.charge_hash_tuples clock (Array.length probe_rows);
   Sim_clock.charge_cpu_tuples clock !n_out;
   { rows = Array.of_list (List.rev !out); schema = out_schema; passes }

@@ -18,5 +18,6 @@ let index_scan ctx heap btree ?lo ?hi () =
   let fetch rid =
     Heap_file.fetch heap ~pool:ctx.Exec_ctx.pool ~clock:ctx.Exec_ctx.clock rid
   in
-  let rows = List.map fetch rids in
-  Array.of_list rows
+  let out = Array.make (List.length rids) [||] in
+  List.iteri (fun i rid -> out.(i) <- fetch rid) rids;
+  out

@@ -79,6 +79,14 @@ let limit_ms (m : Sim_clock.model) ~rows = rows *. m.cpu_tuple_ms
 let materialize_ms (m : Sim_clock.model) ~pages =
   pages *. (m.write_ms +. m.seq_read_ms)
 
+(* Overhead of one runtime filter: building it from the build/left side
+   plus testing every probe/right-side row.  Rates are the executor's own
+   (Runtime_filter), kept outside the model so estimation error stays a
+   cardinality error. *)
+let runtime_filter_ms ~build_rows ~probe_rows =
+  (build_rows *. Mqr_exec.Runtime_filter.build_tuple_ms)
+  +. (probe_rows *. Mqr_exec.Runtime_filter.probe_tuple_ms)
+
 let fudge = Mqr_exec.Join.hash_join_fudge
 
 let hash_join_mem ~build_pages =

@@ -57,6 +57,12 @@ val limit_ms : Sim_clock.model -> rows:float -> float
     the re-optimization overhead [T_materialize] of Section 2.4. *)
 val materialize_ms : Sim_clock.model -> pages:float -> float
 
+(** Overhead of one runtime filter: build from [build_rows], probe every
+    one of [probe_rows] (rates from {!Mqr_exec.Runtime_filter}).  The
+    benefit side is modelled by costing the join over the filtered probe
+    cardinality instead. *)
+val runtime_filter_ms : build_rows:float -> probe_rows:float -> float
+
 (** Memory demands in pages: [(minimum, maximum)]. *)
 val hash_join_mem : build_pages:float -> int * int
 val sort_mem : data_pages:float -> int * int

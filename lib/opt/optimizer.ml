@@ -9,6 +9,7 @@ type options = {
   enable_index_join : bool;
   enable_merge_join : bool;
   enable_bushy : bool;
+  enable_runtime_filters : bool;
   planning_mem_pages : int;
 }
 
@@ -16,6 +17,7 @@ let default_options =
   { enable_index_join = true;
     enable_merge_join = true;
     enable_bushy = true;
+    enable_runtime_filters = false;
     planning_mem_pages = 128 }
 
 type result = {
@@ -122,19 +124,100 @@ let join_sel ctx ~keys ~extra =
   in
   key_sel *. sel_opt ctx extra
 
-let mk_hash_join ctx ~build ~probe ~keys ~extra ~mem =
+(* ------------------------------------------------------------------ *)
+(* Runtime-filter annotation (sideways information passing).           *)
+
+(* Estimated pass fraction of a filter built from [build_col] applied to
+   [probe_col]: by containment, the build side covers at most
+   min(distinct(build_col), build_rows) of the probe column's distinct
+   values.  Unknown distincts — or a build-side estimate of under one row,
+   which is a statistics failure rather than a one-distinct-value build —
+   yield 1.0: the filter still runs (its observed selectivity is the
+   point) but earns no cost credit. *)
+let rf_est_sel ctx ~build_rows ~build_col ~probe_col =
+  if build_rows < 1.0 then 1.0
+  else
+    match
+      ( Selectivity.distinct_of_column ctx.sel_env build_col,
+        Selectivity.distinct_of_column ctx.sel_env probe_col )
+    with
+    | Some db, Some dp when dp >= 1.0 ->
+      Float.min 1.0 (Float.min db build_rows /. dp)
+    | _ -> 1.0
+
+(* Leaves of the probe subtree whose schema owns the filtered column —
+   the sites where the dispatcher will apply the filter. *)
+let rf_sites probe ~col =
+  let owns (n : Plan.t) =
+    match Schema.index_of n.Plan.schema col with
+    | (_ : int) -> true
+    | exception Not_found -> false
+    | exception Schema.Ambiguous _ -> false
+  in
+  List.rev
+    (Plan.fold
+       (fun acc (n : Plan.t) ->
+          match n.Plan.node with
+          | (Plan.Seq_scan { alias; _ } | Plan.Index_scan { alias; _ })
+            when owns n -> alias :: acc
+          | Plan.Materialized { name; _ } when owns n -> name :: acc
+          | _ -> acc)
+       [] probe)
+
+let rf_annotations ctx ~with_rf ~build ~probe ~keys =
+  if not with_rf then []
+  else
+    List.filter_map
+      (fun (probe_col, build_col) ->
+         match rf_sites probe ~col:probe_col with
+         | [] -> None
+         | sites ->
+           Some
+             { Plan.rf_build_col = build_col;
+               rf_probe_col = probe_col;
+               rf_sel =
+                 rf_est_sel ctx ~build_rows:build.Plan.est.Plan.rows
+                   ~build_col ~probe_col;
+               rf_sites = sites })
+      keys
+
+let rf_combined_sel rf =
+  List.fold_left (fun acc f -> acc *. f.Plan.rf_sel) 1.0 rf
+
+(* Selectivity credited when *costing* the join: only half the predicted
+   reduction.  The estimate rides on catalog distinct counts — often stale
+   exactly when filters matter — and an over-credited filter would let the
+   optimizer chase join orders whose benefit never materializes.  The full
+   reduction is still realized at run time; this only damps plan choice. *)
+let rf_credit_sel rf = 0.5 +. (0.5 *. rf_combined_sel rf)
+
+let rf_overhead_ms ~build_rows ~probe_rows rf =
+  List.fold_left
+    (fun acc (_ : Plan.rf) ->
+       acc +. Cost_model.runtime_filter_ms ~build_rows ~probe_rows)
+    0.0 rf
+
+let mk_hash_join ctx ~build ~probe ~keys ~extra ~mem ~with_rf =
   let schema = Schema.concat probe.Plan.schema build.Plan.schema in
   let b = build.Plan.est and p = probe.Plan.est in
   let rows = b.Plan.rows *. p.Plan.rows *. join_sel ctx ~keys ~extra in
+  let rf = rf_annotations ctx ~with_rf ~build ~probe ~keys in
+  (* the join's own work shrinks to the filtered probe cardinality; the
+     output estimate does not change (the filter only removes tuples that
+     could never join) *)
+  let probe_rows_eff = p.Plan.rows *. rf_credit_sel rf in
   let build_pages = Cost_model.pages ~rows:b.Plan.rows ~width:b.Plan.width in
-  let probe_pages = Cost_model.pages ~rows:p.Plan.rows ~width:p.Plan.width in
+  let probe_pages =
+    Cost_model.pages ~rows:probe_rows_eff ~width:p.Plan.width
+  in
   let min_mem, max_mem = Cost_model.hash_join_mem ~build_pages in
   let mem = effective_mem ctx ~mem ~max_mem in
   let op_ms =
     Cost_model.hash_join_ms ctx.model ~build_rows:b.Plan.rows ~build_pages
-      ~probe_rows:p.Plan.rows ~probe_pages ~out_rows:rows ~mem_pages:mem
+      ~probe_rows:probe_rows_eff ~probe_pages ~out_rows:rows ~mem_pages:mem
+    +. rf_overhead_ms ~build_rows:b.Plan.rows ~probe_rows:p.Plan.rows rf
   in
-  mk_node ctx (Plan.Hash_join { build; probe; keys; extra }) schema ~rows
+  mk_node ctx (Plan.Hash_join { build; probe; keys; extra; rf }) schema ~rows
     ~op_ms ~children:[ build; probe ] ~min_mem ~max_mem ~mem
 
 let mk_index_nl_join ctx ~outer ~table ~alias ~outer_col ~inner_col
@@ -180,7 +263,7 @@ let mk_block_nl_join ctx ~outer ~inner ~pred ~mem =
    leading column alone is NOT sorted for a multi-key merge. *)
 let side_sorted plan key = List.mem key (Plan.orders_of plan)
 
-let mk_merge_join ctx ~left ~right ~keys ~extra ~mem =
+let mk_merge_join ctx ~left ~right ~keys ~extra ~mem ~with_rf =
   let schema = Schema.concat left.Plan.schema right.Plan.schema in
   let le = left.Plan.est and re = right.Plan.est in
   let rows = le.Plan.rows *. re.Plan.rows *. join_sel ctx ~keys ~extra in
@@ -190,17 +273,27 @@ let mk_merge_join ctx ~left ~right ~keys ~extra ~mem =
   let right_sorted =
     match keys with [ (_, r) ] -> side_sorted right r | _ -> false
   in
+  (* the left side plays the hash join's build role: its key set filters
+     the right side before the right-side sort *)
+  let rf =
+    rf_annotations ctx ~with_rf ~build:left ~probe:right
+      ~keys:(List.map (fun (l, r) -> (r, l)) keys)
+  in
+  let right_rows_eff = re.Plan.rows *. rf_credit_sel rf in
   let left_pages = Cost_model.pages ~rows:le.Plan.rows ~width:le.Plan.width in
-  let right_pages = Cost_model.pages ~rows:re.Plan.rows ~width:re.Plan.width in
+  let right_pages =
+    Cost_model.pages ~rows:right_rows_eff ~width:re.Plan.width
+  in
   let min_mem, max_mem = Cost_model.merge_join_mem ~left_pages ~right_pages in
   let mem = effective_mem ctx ~mem ~max_mem in
   let op_ms =
     Cost_model.merge_join_ms ctx.model ~left_rows:le.Plan.rows ~left_pages
-      ~right_rows:re.Plan.rows ~right_pages ~out_rows:rows ~mem_pages:mem
+      ~right_rows:right_rows_eff ~right_pages ~out_rows:rows ~mem_pages:mem
       ~left_sorted ~right_sorted
+    +. rf_overhead_ms ~build_rows:le.Plan.rows ~probe_rows:re.Plan.rows rf
   in
   mk_node ctx
-    (Plan.Merge_join { left; right; keys; extra; left_sorted; right_sorted })
+    (Plan.Merge_join { left; right; keys; extra; left_sorted; right_sorted; rf })
     schema ~rows ~op_ms ~children:[ left; right ] ~min_mem ~max_mem ~mem
 
 let group_count ctx ~input_rows ~group_by =
@@ -508,11 +601,13 @@ let optimize_joins ctx options ~rels ~join_conjs ~complex_conjs ~interesting =
                       ctx.enumerated <- ctx.enumerated + 1;
                       consider mask
                         (mk_hash_join ctx ~build:right ~probe:left ~keys
-                           ~extra ~mem:0);
+                           ~extra ~mem:0
+                           ~with_rf:options.enable_runtime_filters);
                       if options.enable_merge_join then begin
                         ctx.enumerated <- ctx.enumerated + 1;
                         consider mask
-                          (mk_merge_join ctx ~left ~right ~keys ~extra ~mem:0)
+                          (mk_merge_join ctx ~left ~right ~keys ~extra ~mem:0
+                             ~with_rf:options.enable_runtime_filters)
                       end
                     end
                     else begin
@@ -747,9 +842,9 @@ let recost ?(planning_mem = default_options.planning_mem_pages) ~model ~env plan
         in
         mk_index_scan ctx ~table ~alias ~index_col ~lo ~hi ~filter
           ~schema:p.Plan.schema ~index_sel:used_sel
-      | Plan.Hash_join { build; probe; keys; extra } ->
+      | Plan.Hash_join { build; probe; keys; extra; rf } ->
         mk_hash_join ctx ~build:(go build) ~probe:(go probe) ~keys ~extra
-          ~mem:keep_mem
+          ~mem:keep_mem ~with_rf:(rf <> [])
       | Plan.Index_nl_join
           { outer; table; alias; outer_col; inner_col; inner_filter; extra } ->
         let info = Stats_env.rel ctx.env ~alias in
@@ -759,9 +854,9 @@ let recost ?(planning_mem = default_options.planning_mem_pages) ~model ~env plan
       | Plan.Block_nl_join { outer; inner; pred } ->
         mk_block_nl_join ctx ~outer:(go outer) ~inner:(go inner) ~pred
           ~mem:keep_mem
-      | Plan.Merge_join { left; right; keys; extra; _ } ->
+      | Plan.Merge_join { left; right; keys; extra; rf; _ } ->
         mk_merge_join ctx ~left:(go left) ~right:(go right) ~keys ~extra
-          ~mem:keep_mem
+          ~mem:keep_mem ~with_rf:(rf <> [])
       | Plan.Aggregate { input; group_by; aggs; _ } ->
         mk_aggregate ctx ~input:(go input) ~group_by ~aggs ~mem:keep_mem
       | Plan.Sort { input; keys } ->

@@ -18,6 +18,10 @@ type options = {
   enable_index_join : bool;
   enable_merge_join : bool;
   enable_bushy : bool;   (** false restricts the right side to singletons *)
+  enable_runtime_filters : bool;
+  (** annotate hash/merge joins with candidate runtime-filter sites
+      ({!Plan.rf}) and credit the filtered probe cardinality in their
+      cost; the dispatcher then builds and pushes the filters down. *)
   planning_mem_pages : int;
   (** memory a consumer is assumed to receive when costing candidate plans
       (before the Memory Manager has run).  Finite, so that build-side

@@ -9,6 +9,18 @@ type est = {
   total_ms : float;
 }
 
+(* A candidate runtime-filter site the optimizer attached to a join: the
+   build/left side's key values, published at run time as a bloom filter
+   plus min-max bounds, prune the probe/right-side scans that own
+   [rf_probe_col].  [rf_sel] is the estimated fraction of probe rows
+   passing the filter. *)
+type rf = {
+  rf_build_col : string;
+  rf_probe_col : string;
+  rf_sel : float;
+  rf_sites : string list;  (* aliases of probe-side scans owning the column *)
+}
+
 type node =
   | Seq_scan of { table : string; alias : string; filter : Mqr_expr.Expr.t option }
   | Index_scan of {
@@ -24,6 +36,7 @@ type node =
       probe : t;
       keys : (string * string) list;
       extra : Mqr_expr.Expr.t option;
+      rf : rf list;
     }
   | Index_nl_join of {
       outer : t;
@@ -42,6 +55,7 @@ type node =
       extra : Mqr_expr.Expr.t option;
       left_sorted : bool;
       right_sorted : bool;
+      rf : rf list;
     }
   | Aggregate of {
       input : t;
@@ -188,6 +202,16 @@ let rec pp_indented fmt ~indent t =
        (if left_sorted then "L" else "")
        (if right_sorted then "R" else "")
    | Aggregate { pre_sorted = true; _ } -> Fmt.pf fmt " streaming"
+   | _ -> ());
+  (match t.node with
+   | Hash_join { rf = _ :: _ as rf; _ } | Merge_join { rf = _ :: _ as rf; _ } ->
+     Fmt.pf fmt " rf:[%s]"
+       (String.concat "; "
+          (List.map
+             (fun f ->
+                Printf.sprintf "%s~%.2f@%s" f.rf_probe_col f.rf_sel
+                  (String.concat "," f.rf_sites))
+             rf))
    | _ -> ());
   Fmt.pf fmt "]@.";
   List.iter (pp_indented fmt ~indent:(indent + 2)) (children t)

@@ -16,6 +16,18 @@ type est = {
   total_ms : float; (** cumulative, children included *)
 }
 
+(** A candidate runtime-filter site attached to a join by the optimizer:
+    the build/left side's key values, published at run time as a bloom
+    filter plus min-max bounds (see {!Mqr_exec.Runtime_filter}), prune the
+    probe/right-side scans that own [rf_probe_col]. *)
+type rf = {
+  rf_build_col : string;
+  rf_probe_col : string;
+  rf_sel : float;  (** estimated fraction of probe rows passing *)
+  rf_sites : string list;
+      (** aliases of probe-side scans owning the column *)
+}
+
 type node =
   | Seq_scan of { table : string; alias : string; filter : Mqr_expr.Expr.t option }
   | Index_scan of {
@@ -31,6 +43,7 @@ type node =
       probe : t;
       keys : (string * string) list;  (** (probe column, build column) *)
       extra : Mqr_expr.Expr.t option;
+      rf : rf list;  (** runtime-filter annotations, empty when disabled *)
     }
   | Index_nl_join of {
       outer : t;
@@ -49,6 +62,7 @@ type node =
       extra : Mqr_expr.Expr.t option;
       left_sorted : bool;   (** input already ordered on its key: no sort *)
       right_sorted : bool;
+      rf : rf list;  (** left-side filters pruning the right side *)
     }
   | Aggregate of {
       input : t;

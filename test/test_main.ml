@@ -18,4 +18,5 @@ let () =
       ("persist", Test_persist.suite);
       ("parallel", Test_parallel.suite);
       ("tpcd", Test_tpcd.suite);
-      ("wlm", Test_wlm.suite) ]
+      ("wlm", Test_wlm.suite);
+      ("rf", Test_rf.suite) ]

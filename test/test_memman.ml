@@ -16,7 +16,8 @@ let mk_node ?(min_mem = 0) ?(max_mem = 0) id node =
 let scan id = mk_node id (Plan.Seq_scan { table = "t"; alias = "t"; filter = None })
 
 let join ?(min_mem = 2) ?(max_mem = 10) id build probe =
-  mk_node ~min_mem ~max_mem id (Plan.Hash_join { build; probe; keys = []; extra = None })
+  mk_node ~min_mem ~max_mem id
+    (Plan.Hash_join { build; probe; keys = []; extra = None; rf = [] })
 
 (* Figure 3 shape: agg over join2(join1(scan, scan), scan). *)
 let figure3_plan ~j1_max ~j2_max ~agg_max =
