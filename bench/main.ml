@@ -503,6 +503,63 @@ let wlm () =
   rec_wl "broker" conc
 
 (* ------------------------------------------------------------------ *)
+(* Plan-verifier sanitizer: the static analysis re-runs at every
+   decision point and after every mid-query plan switch.  It must find
+   zero violations and, being pure analysis, must not move the simulated
+   clock by a single tick.                                             *)
+
+let sanitize () =
+  header
+    (Fmt.str
+       "Plan verifier sanitizer - every decision point and plan switch \
+        re-verified (sf=%g, budget=%d pages)"
+       sf budget_pages);
+  let catalog = Workload.experiment_catalog ~sf () in
+  (* one catalog, two engines: the sanitizer flag is the only difference *)
+  let plain = Engine.create ~budget_pages ~pool_pages catalog in
+  let sanitized =
+    Engine.create ~budget_pages ~pool_pages
+      ~verify_plans:Mqr_analysis.Verifier.Sanitize catalog
+  in
+  Fmt.pr "%-5s %-8s | %12s %12s %8s %9s %7s  %s@." "query" "mode" "plain(ms)"
+    "sanit(ms)" "verifs" "switches" "pages" "identical";
+  let mismatches = ref 0 in
+  List.iter
+    (fun (q : Queries.query) ->
+       List.iter
+         (fun mode ->
+            let scenario = "sanitize/" ^ q.Queries.name in
+            let ms = Dispatcher.mode_to_string mode in
+            let off = Engine.run_sql plain ~mode q.Queries.sql in
+            let on = Engine.run_sql sanitized ~mode q.Queries.sql in
+            record ~scenario ~mode:(ms ^ "-plain")
+              ~elapsed_ms:off.Dispatcher.elapsed_ms
+              ~switches:off.Dispatcher.switches
+              ~collectors:off.Dispatcher.collectors;
+            record ~scenario ~mode:(ms ^ "-sanitize")
+              ~elapsed_ms:on.Dispatcher.elapsed_ms
+              ~switches:on.Dispatcher.switches
+              ~collectors:on.Dispatcher.collectors;
+            let identical =
+              on.Dispatcher.elapsed_ms = off.Dispatcher.elapsed_ms
+              && on.Dispatcher.filter_pages_held = 0
+            in
+            if not identical then incr mismatches;
+            Fmt.pr "%-5s %-8s | %12.1f %12.1f %8d %9d %7d  %s@."
+              q.Queries.name ms off.Dispatcher.elapsed_ms
+              on.Dispatcher.elapsed_ms on.Dispatcher.verifications
+              on.Dispatcher.switches on.Dispatcher.filter_pages_held
+              (if identical then "yes" else "** MISMATCH **"))
+         [ Dispatcher.Off; Dispatcher.Full ])
+    Queries.all;
+  if !mismatches = 0 then
+    Fmt.pr
+      "@.Verification is pure analysis: zero violations, zero filter pages \
+       held, and@.the simulated clock is bit-identical with the sanitizer \
+       on.@."
+  else Fmt.pr "@.** %d sanitizer mismatches **@." !mismatches
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per figure/table id.       *)
 
 let micro () =
@@ -575,6 +632,7 @@ let () =
    | "scale" -> scalability ()
    | "rf" -> runtime_filters ()
    | "wlm" -> wlm ()
+   | "sanitize" -> sanitize ()
    | "micro" -> micro ()
    | "figures" ->
      figure10 ();
@@ -593,11 +651,12 @@ let () =
      scalability ();
      runtime_filters ();
      wlm ();
+     sanitize ();
      micro ()
    | other ->
      Fmt.epr
        "unknown experiment %S (f10 f11 f12 xfig3 sens overhead joins hist \
-        hybrid scale rf wlm micro all)@."
+        hybrid scale rf wlm sanitize micro all)@."
        other;
      exit 1)
     which;

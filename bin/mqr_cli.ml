@@ -11,6 +11,8 @@ module Engine = Mqr_core.Engine
 module Dispatcher = Mqr_core.Dispatcher
 module Queries = Mqr_tpcd.Queries
 module Workload = Mqr_tpcd.Workload
+module Verifier = Mqr_analysis.Verifier
+module Diagnostic = Mqr_analysis.Diagnostic
 
 open Cmdliner
 
@@ -58,6 +60,10 @@ let rf_arg =
 let friendly action =
   try action () with
   | Mqr_sql.Lexer.Lex_error m -> Fmt.epr "error: %s@." m; exit 1
+  | Verifier.Rejected { what; diags } ->
+    Fmt.epr "plan verification failed (%s):@.%a" what Diagnostic.pp_report
+      diags;
+    exit 1
   | Mqr_sql.Parser.Parse_error m -> Fmt.epr "error: %s@." m; exit 1
   | Mqr_sql.Query.Bind_error m -> Fmt.epr "error: %s@." m; exit 1
   | Engine.Dml_error m -> Fmt.epr "error: %s@." m; exit 1
@@ -70,16 +76,37 @@ let resolve_sql q =
   | query -> query.Queries.sql
   | exception Invalid_argument _ -> q
 
-let make_engine ?(runtime_filters = false) ~sf ~skew ~budget ~pristine () =
+let make_engine ?(runtime_filters = false) ?(verify_plans = Verifier.Off)
+    ~sf ~skew ~budget ~pristine () =
   let degradations = if pristine then [] else Workload.paper_degradations in
   let catalog = Workload.experiment_catalog ~sf ~skew_z:skew ~degradations () in
   Engine.create ~budget_pages:budget ~pool_pages:(8 * budget) ~runtime_filters
-    catalog
+    ~verify_plans catalog
+
+let verify_arg =
+  let doc = "Statically verify the instrumented plan before executing it \
+             (refuse to run a plan with error-severity findings)." in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+let sanitize_arg =
+  let doc = "Sanitizer mode: --verify plus re-verification of the remainder \
+             plan at every decision point and after every mid-query plan \
+             switch." in
+  Arg.(value & flag & info [ "sanitize" ] ~doc)
+
+let verify_mode ~verify ~sanitize =
+  if sanitize then Verifier.Sanitize
+  else if verify then Verifier.Pre
+  else Verifier.Off
 
 let run_cmd =
-  let action query sf skew budget mode verbose pristine runtime_filters =
+  let action query sf skew budget mode verbose pristine runtime_filters
+      verify sanitize =
     friendly @@ fun () ->
-    let engine = make_engine ~runtime_filters ~sf ~skew ~budget ~pristine () in
+    let engine =
+      make_engine ~verify_plans:(verify_mode ~verify ~sanitize)
+        ~runtime_filters ~sf ~skew ~budget ~pristine ()
+    in
     let sql = resolve_sql query in
     Fmt.pr "running [%s]: %s@.@." (Dispatcher.mode_to_string mode) sql;
     let report = Engine.run_sql engine ~mode sql in
@@ -96,23 +123,88 @@ let run_cmd =
         report.Dispatcher.events;
       Fmt.pr "@.initial plan:@.%s@."
         (Mqr_opt.Plan.to_string report.Dispatcher.initial_plan)
-    end
+    end;
+    if report.Dispatcher.verifications > 0 then
+      Fmt.pr "plan verified %d time(s), %d filter pages held at completion@."
+        report.Dispatcher.verifications report.Dispatcher.filter_pages_held
   in
   let info = Cmd.info "run" ~doc:"Execute a query." in
   Cmd.v info
     Term.(const action $ query_arg $ sf_arg $ skew_arg $ budget_arg
-          $ mode_arg $ verbose_arg $ pristine_arg $ rf_arg)
+          $ mode_arg $ verbose_arg $ pristine_arg $ rf_arg $ verify_arg
+          $ sanitize_arg)
 
 let explain_cmd =
-  let action query sf skew budget pristine runtime_filters =
+  let explain_verify_arg =
+    let doc = "Also run the static plan verifier over the (uninstrumented) \
+               plan and print its findings; exit non-zero on errors." in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let action query sf skew budget pristine runtime_filters verify =
     friendly @@ fun () ->
     let engine = make_engine ~runtime_filters ~sf ~skew ~budget ~pristine () in
-    Fmt.pr "%s@." (Mqr_opt.Plan.to_string (Engine.explain engine (resolve_sql query)))
+    if verify then begin
+      let plan, diags =
+        Engine.lint engine ~mode:Dispatcher.Off (resolve_sql query)
+      in
+      Fmt.pr "%s@." (Mqr_opt.Plan.to_string plan);
+      Fmt.pr "%a" Diagnostic.pp_report diags;
+      if Diagnostic.errors diags <> [] then exit 1
+    end
+    else
+      Fmt.pr "%s@."
+        (Mqr_opt.Plan.to_string (Engine.explain engine (resolve_sql query)))
   in
   let info = Cmd.info "explain" ~doc:"Show the annotated plan without executing." in
   Cmd.v info
     Term.(const action $ query_arg $ sf_arg $ skew_arg $ budget_arg
-          $ pristine_arg $ rf_arg)
+          $ pristine_arg $ rf_arg $ explain_verify_arg)
+
+let lint_cmd =
+  let queries_arg =
+    let doc = "Queries to lint (benchmark names like Q5, or SQL text); \
+               defaults to every benchmark query." in
+    Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc)
+  in
+  let action queries sf skew budget mode pristine runtime_filters =
+    friendly @@ fun () ->
+    let engine = make_engine ~runtime_filters ~sf ~skew ~budget ~pristine () in
+    let queries =
+      match queries with
+      | [] -> List.map (fun (q : Queries.query) -> q.Queries.name) Queries.all
+      | qs -> qs
+    in
+    let error_count = ref 0 in
+    List.iter
+      (fun q ->
+         let _plan, diags = Engine.lint engine ~mode (resolve_sql q) in
+         let errs = Diagnostic.errors diags in
+         let warns = Diagnostic.warnings diags in
+         error_count := !error_count + List.length errs;
+         Fmt.pr "%s [%s]: %s (%d error(s), %d warning(s))@." q
+           (Dispatcher.mode_to_string mode)
+           (if errs = [] then "ok" else "FAILED")
+           (List.length errs) (List.length warns);
+         List.iter (fun d -> Fmt.pr "  %a@." Diagnostic.pp d)
+           (List.stable_sort Diagnostic.compare diags))
+      queries;
+    if !error_count > 0 then begin
+      Fmt.epr "lint: %d error(s)@." !error_count;
+      exit 1
+    end
+  in
+  let info =
+    Cmd.info "lint"
+      ~doc:
+        "Statically verify query plans without executing them: build each \
+         plan exactly as the dispatcher would (instrumented with \
+         statistics collectors unless --mode off) and run the analysis \
+         passes (schema dataflow, annotation lints, SCIA legality, \
+         resource/lifetime checks)."
+  in
+  Cmd.v info
+    Term.(const action $ queries_arg $ sf_arg $ skew_arg $ budget_arg
+          $ mode_arg $ pristine_arg $ rf_arg)
 
 let repl_cmd =
   let action sf skew budget pristine =
@@ -342,5 +434,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; explain_cmd; queries_cmd; workload_cmd; repl_cmd;
-            dump_cmd; load_repl_cmd ]))
+          [ run_cmd; explain_cmd; lint_cmd; queries_cmd; workload_cmd;
+            repl_cmd; dump_cmd; load_repl_cmd ]))

@@ -1,0 +1,96 @@
+(** Static analysis over annotated query execution plans.
+
+    The whole re-optimization mechanism rests on invariants of the
+    annotated plan — every operator carries estimates, collectors sit at
+    legal streamed positions within the [mu] budget, a re-planned
+    remainder must be consistent with the temp tables it reads, memory
+    grants must fit the broker budget, and runtime-filter leases must
+    provably return to zero.  A malformed plan otherwise only fails deep
+    inside the dispatcher.  This module checks those invariants up front:
+    composable passes run over a plan before execution and (in sanitizer
+    mode) again at every decision point and after every mid-query plan
+    switch.
+
+    Four passes ship:
+
+    - {!schema_pass} — infers each operator's output schema bottom-up
+      from the catalog (and the temp-table store for re-planned
+      remainders) and rejects dangling column references, operand type
+      mismatches and shape drift ([SCH-*] codes);
+    - {!annotation_pass} — every operator has sane estimates; child to
+      parent cardinality monotonicity is plausible (join and filter
+      estimates never exceed cross-product / input bounds); degenerate
+      zero-row estimates are flagged ([EST-*]);
+    - {!scia_pass} — statistics collectors only at streamed positions
+      directly above a scan, unique collection-point ids, spec columns
+      the input actually owns, total collector CPU within the [mu]
+      budget, no collector orphaned below nothing that can use its
+      statistics ([SCIA-*]);
+    - {!resource_pass} — memory assignments respect min/max demands and
+      the broker budget; runtime-filter annotations are installable and
+      retire inside their unit, so [filter_pages_held] provably returns
+      to 0 ([MEM-*], [RF-*]). *)
+
+open Mqr_storage
+
+(** How the environment the plan will run in answers questions the plan
+    poses.  Build one with {!context} (catalog-only, e.g. for [lint]) or
+    fill the fields directly (the dispatcher adds its temp-table store
+    and live memory budget). *)
+type context = {
+  base_schema : string -> Schema.t option;
+      (** unqualified heap schema of a base table *)
+  base_rows : string -> float option;
+      (** believed cardinality of a base table *)
+  temp_schema : string -> Schema.t option;
+      (** schema of a materialized intermediate, with the {e original}
+          column qualifiers preserved — consulted before [base_schema]
+          so re-planned remainders are checked against what was actually
+          materialized *)
+  budget_pages : int option;  (** memory-manager budget, when known *)
+  mu : float option;  (** collector overhead bound, when known *)
+}
+
+(** Catalog-backed context. [temp_schema] defaults to "no temps". *)
+val context :
+  ?temp_schema:(string -> Schema.t option) ->
+  ?budget_pages:int -> ?mu:float -> Mqr_catalog.Catalog.t -> context
+
+type pass = {
+  pass_name : string;
+  run : context -> Mqr_opt.Plan.t -> Diagnostic.t list;
+}
+
+val schema_pass : pass
+val annotation_pass : pass
+val scia_pass : pass
+val resource_pass : pass
+
+(** The four passes above, in that order. *)
+val all_passes : pass list
+
+(** Run the passes (default {!all_passes}) and return every finding,
+    errors first. *)
+val verify :
+  ?passes:pass list -> context -> Mqr_opt.Plan.t -> Diagnostic.t list
+
+exception Rejected of { what : string; diags : Diagnostic.t list }
+(** [diags] holds only the [Error]-severity findings. *)
+
+(** Like {!verify} but raises {!Rejected} when any finding is an error;
+    [what] names the plan being refused (e.g. ["initial plan"],
+    ["switched plan"]). *)
+val check_exn :
+  ?passes:pass list -> what:string -> context -> Mqr_opt.Plan.t ->
+  Diagnostic.t list
+
+(** How much verification the dispatcher performs. *)
+type mode =
+  | Off
+  | Pre       (** verify the instrumented plan once, before execution *)
+  | Sanitize
+      (** [Pre] plus re-verification at every decision point and after
+          every mid-query plan switch, and assert the runtime-filter
+          lease invariant ([filter_pages_held = 0]) there *)
+
+val mode_to_string : mode -> string

@@ -17,6 +17,8 @@ module Merge_join = Mqr_exec.Merge_join
 module Aggregate = Mqr_exec.Aggregate
 module Collector = Mqr_exec.Collector
 module Runtime_filter = Mqr_exec.Runtime_filter
+module Verifier = Mqr_analysis.Verifier
+module Diagnostic = Mqr_analysis.Diagnostic
 
 let log_src = Logs.Src.create "mqr.dispatcher" ~doc:"Mid-query re-optimization"
 
@@ -53,6 +55,11 @@ type config = {
   temp_prefix : string;
       (* disambiguates intermediate-result table names when several
          queries share one catalog (concurrent workloads) *)
+  verify : Verifier.mode;
+      (* static plan verification: [Pre] checks the instrumented plan
+         before execution (errors refuse to execute), [Sanitize] also
+         re-verifies the remainder at every decision point and after
+         every mid-query plan switch *)
 }
 
 type event =
@@ -109,6 +116,13 @@ type report = {
   filter_pages_peak : int;
       (* most bloom-bitmap pages held at once (leased from the broker when
          one is configured) *)
+  filter_pages_held : int;
+      (* bloom-bitmap pages still held at completion; 0 is the lifetime
+         invariant the sanitizer asserts *)
+  collector_ms : float;
+      (* simulated CPU spent inside statistics collectors *)
+  verifications : int;
+      (* plan-verification runs performed (0 when verify = Off) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -149,6 +163,10 @@ type state = {
   (* a retired filter's pass rate deviated badly from the estimate: force
      the next decision point past the Eq. 2 close-enough shortcut *)
   mutable filter_surprise : bool;
+  (* simulated milliseconds spent inside statistics collectors *)
+  mutable collector_ms : float;
+  (* plan-verification runs performed *)
+  mutable verifications : int;
 }
 
 (* forward declaration for logging of events (defined below) *)
@@ -178,6 +196,43 @@ let apply_overrides st env =
   List.iter
     (fun (column, stats) -> Stats_env.override env ~column stats)
     st.overrides
+
+(* ------------------------------------------------------------------ *)
+(* Plan verification (static analysis; see Mqr_analysis.Verifier).     *)
+
+(* The dispatcher's answers to the verifier's questions: the temp-table
+   store (so a re-planned remainder is checked against what was actually
+   materialized), the live memory budget, and the mu collector bound. *)
+let verifier_context st =
+  Verifier.context
+    ~temp_schema:(fun name -> Option.map snd (Hashtbl.find_opt st.store name))
+    ~budget_pages:(Memory_manager.budget_pages st.memman)
+    ~mu:st.cfg.params.Reopt_policy.mu st.cfg.catalog
+
+(* Verification is pure analysis: it never touches the simulated clock,
+   so turning the sanitizer on cannot change a query's elapsed time. *)
+let verify_plan st ~what plan =
+  if st.cfg.verify <> Verifier.Off then begin
+    st.verifications <- st.verifications + 1;
+    ignore (Verifier.check_exn ~what (verifier_context st) plan)
+  end
+
+(* The sanitizer's dynamic half of the runtime-filter lifetime pass:
+   leased bitmap pages must be back to zero whenever execution is
+   observable from outside a unit. *)
+let assert_filters_retired st ~what =
+  if st.filter_pages <> 0 then
+    raise
+      (Verifier.Rejected
+         { what;
+           diags =
+             [ Diagnostic.error ~pass:"resource" ~code:"RF-LIFETIME"
+                 ~hint:"runtime filters must retire within their unit"
+                 ~node_id:st.current.Plan.id
+                 ~path:[ Plan.op_name st.current ]
+                 (Printf.sprintf
+                    "%d bloom-bitmap pages still leased at a decision point"
+                    st.filter_pages) ] })
 
 (* ------------------------------------------------------------------ *)
 (* Executing plan nodes.                                               *)
@@ -369,10 +424,11 @@ and exec_node_inner st (p : Plan.t) : Tuple.t array * Schema.t =
          (alias, Array.length rows)
          :: List.remove_assoc alias st.observed_cards
      | _ -> ());
+    let c0 = Sim_clock.snapshot ctx.Exec_ctx.clock in
     let obs = Collector.collect ctx schema spec rows in
-    let columns =
-      spec.Collector.hist_cols @ spec.Collector.distinct_cols
-    in
+    st.collector_ms <-
+      st.collector_ms +. Sim_clock.since ctx.Exec_ctx.clock c0;
+    let columns = Collector.spec_columns spec in
     List.iter
       (fun column ->
          st.overrides <-
@@ -719,7 +775,9 @@ let try_replan ?(force = false) st =
            Optimizer.recost ~planning_mem:st.cfg.opt_options.Optimizer.planning_mem_pages
       ~model:st.cfg.model ~env:st.env st.current;
          st.switches <- st.switches + 1;
-         emit st (Ev_switched { t_new_total; t_improved; materialize_ms })
+         emit st (Ev_switched { t_new_total; t_improved; materialize_ms });
+         if st.cfg.verify = Verifier.Sanitize then
+           verify_plan st ~what:"switched plan" st.current
        end
        else emit st (Ev_rejected { t_new_total; t_improved }))
 
@@ -742,7 +800,11 @@ let decision_point st =
      reallocate st;
      if Plan.join_count st.current >= 1
      && st.switches < st.cfg.params.Reopt_policy.max_switches
-     then try_replan ~force st)
+     then try_replan ~force st);
+  if st.cfg.verify = Verifier.Sanitize then begin
+    assert_filters_retired st ~what:"decision point";
+    verify_plan st ~what:"remainder plan at decision point" st.current
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Main loop.                                                          *)
@@ -817,7 +879,9 @@ let start ?prepared cfg query =
       filter_pages = 0;
       filter_pages_peak = 0;
       filter_obs = [];
-      filter_surprise = false }
+      filter_surprise = false;
+      collector_ms = 0.0;
+      verifications = 0 }
   in
   ignore (allocate_memory st);
   let plan0 =
@@ -826,6 +890,8 @@ let start ?prepared cfg query =
   in
   st.current <- plan0;
   record_annotations st plan0;
+  (* refuse to execute a plan that fails static analysis *)
+  verify_plan st ~what:"initial plan" plan0;
   List.iter (fun p -> emit st (Ev_sampled p)) probes;
   { st; plan0; r_collectors = collectors; result = None }
 
@@ -890,6 +956,8 @@ let step r =
        (* Remaining stack: aggregate/sort/project/limit over the last
           result. *)
        let rows, result_schema = exec_node st st.current in
+       if st.cfg.verify = Verifier.Sanitize then
+         assert_filters_retired st ~what:"query completion";
        (* Drop temp tables so the engine can be reused. *)
        List.iter (Catalog.drop_table st.cfg.catalog) st.temp_names;
        let report =
@@ -911,7 +979,10 @@ let step r =
            observed_stats = st.overrides;
            observed_cards = st.observed_cards;
            filters = List.rev st.filter_obs;
-           filter_pages_peak = st.filter_pages_peak }
+           filter_pages_peak = st.filter_pages_peak;
+           filter_pages_held = st.filter_pages;
+           collector_ms = st.collector_ms;
+           verifications = st.verifications }
        in
        r.result <- Some report;
        Some report)

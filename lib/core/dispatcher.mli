@@ -55,6 +55,15 @@ type config = {
   temp_prefix : string;
       (** disambiguates intermediate-result table names when several
           in-flight queries share one catalog; [""] for a solo query *)
+  verify : Mqr_analysis.Verifier.mode;
+      (** static plan verification (see {!Mqr_analysis.Verifier}): [Pre]
+          analyses the instrumented plan before execution and
+          {!start}/{!run} raise {!Mqr_analysis.Verifier.Rejected} on any
+          error-severity finding; [Sanitize] additionally re-verifies the
+          remainder plan at every decision point and after every
+          mid-query plan switch, and asserts the runtime-filter lease
+          invariant ([filter_pages_held = 0]) there.  Verification is
+          pure analysis — it never touches the simulated clock. *)
 }
 
 type event =
@@ -113,6 +122,15 @@ type report = {
           passing audit trail *)
   filter_pages_peak : int;
       (** most bloom-bitmap pages held at once *)
+  filter_pages_held : int;
+      (** bloom-bitmap pages still leased at completion — always 0 (the
+          lifetime invariant the sanitizer asserts; exposed so callers
+          need not reach into dispatcher internals) *)
+  collector_ms : float;
+      (** simulated CPU spent inside statistics collectors — what the
+          paper's mu budget bounds *)
+  verifications : int;
+      (** plan-verification runs performed (0 when [verify = Off]) *)
 }
 
 (** Execute a bound query under the configuration.  [prepared] supplies a

@@ -5,6 +5,8 @@ module Query = Mqr_sql.Query
 module Optimizer = Mqr_opt.Optimizer
 module Stats_env = Mqr_opt.Stats_env
 module Plan = Mqr_opt.Plan
+module Memory_manager = Mqr_memman.Memory_manager
+module Verifier = Mqr_analysis.Verifier
 
 type t = {
   catalog : Catalog.t;
@@ -15,11 +17,13 @@ type t = {
   opt_options : Optimizer.options;
   udfs : Parser.udf_def list ref;
   plan_cache : Plan_cache.t option;
+  verify : Verifier.mode;
 }
 
 let create ?(model = Sim_clock.default_model) ?(pool_pages = 2048)
     ?(budget_pages = 512) ?(params = Reopt_policy.default_params)
-    ?opt_options ?(runtime_filters = false) ?(plan_cache = false) catalog =
+    ?opt_options ?(runtime_filters = false) ?(plan_cache = false)
+    ?(verify_plans = Verifier.Off) catalog =
   (* Unless told otherwise, the optimizer assumes each memory consumer will
      receive about half the memory-manager budget. *)
   let opt_options =
@@ -32,7 +36,8 @@ let create ?(model = Sim_clock.default_model) ?(pool_pages = 2048)
   in
   { catalog; model; pool_pages; budget_pages; params; opt_options;
     udfs = ref [];
-    plan_cache = (if plan_cache then Some (Plan_cache.create ()) else None) }
+    plan_cache = (if plan_cache then Some (Plan_cache.create ()) else None);
+    verify = verify_plans }
 
 let catalog t = t.catalog
 
@@ -68,7 +73,8 @@ let config t mode start_sampling =
     start_sampling;
     broker = None;
     env_overlay = None;
-    temp_prefix = "" }
+    temp_prefix = "";
+    verify = t.verify }
 
 let budget_pages t = t.budget_pages
 
@@ -76,13 +82,14 @@ let budget_pages t = t.budget_pages
    engine's settings, overriding the pieces they own (memory broker,
    statistics overlay, temp-table namespace). *)
 let dispatcher_config t ~mode ?probe_rows ?budget_pages ?broker ?env_overlay
-    ?(temp_prefix = "") () =
+    ?(temp_prefix = "") ?verify () =
   { (config t mode probe_rows) with
     Dispatcher.budget_pages =
       Option.value ~default:t.budget_pages budget_pages;
     broker;
     env_overlay;
-    temp_prefix }
+    temp_prefix;
+    verify = Option.value ~default:t.verify verify }
 
 let bind_sql t sql = Query.bind t.catalog (Parser.parse ~udfs:!(t.udfs) sql)
 
@@ -253,6 +260,31 @@ let explain t sql =
   let env = Stats_env.create t.catalog q.Query.relations in
   let r = Optimizer.optimize ~options:t.opt_options ~model:t.model ~env q in
   r.Optimizer.plan
+
+(* Static analysis without execution: build the plan exactly as the
+   dispatcher would (optimize; unless mode is Off, insert collectors and
+   re-cost; grant memory) and run the verifier over it. *)
+let lint t ?(mode = Dispatcher.Full) sql =
+  let q = bind_sql t sql in
+  let env = Stats_env.create t.catalog q.Query.relations in
+  let r = Optimizer.optimize ~options:t.opt_options ~model:t.model ~env q in
+  let plan =
+    match mode with
+    | Dispatcher.Off -> r.Optimizer.plan
+    | _ ->
+      let scia =
+        Scia.insert ~mu:t.params.Reopt_policy.mu ~env r.Optimizer.plan
+      in
+      Optimizer.recost ~planning_mem:t.opt_options.Optimizer.planning_mem_pages
+        ~model:t.model ~env scia.Scia.plan
+  in
+  let memman = Memory_manager.create ~budget_pages:t.budget_pages in
+  ignore (Memory_manager.allocate memman plan);
+  let vctx =
+    Verifier.context ~budget_pages:t.budget_pages
+      ~mu:t.params.Reopt_policy.mu t.catalog
+  in
+  (plan, Verifier.verify vctx plan)
 
 let time_ms t ?mode ?probe_rows sql =
   (run_sql t ?mode ?probe_rows sql).Dispatcher.elapsed_ms

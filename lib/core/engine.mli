@@ -21,7 +21,11 @@ type t
     [opt_options] when both are given.  [plan_cache] enables the
     static-plan store of the paper's Section 2.6: repeated queries skip
     optimization and collector insertion until their tables drift (see
-    {!Plan_cache}). *)
+    {!Plan_cache}).  [verify_plans] enables the static plan verifier
+    (see {!Mqr_analysis.Verifier}): [Pre] analyses every instrumented
+    plan before execution and refuses to run one with error-severity
+    findings; [Sanitize] additionally re-verifies the remainder plan at
+    every decision point and after every mid-query plan switch. *)
 val create :
   ?model:Sim_clock.model ->
   ?pool_pages:int ->
@@ -30,6 +34,7 @@ val create :
   ?opt_options:Mqr_opt.Optimizer.options ->
   ?runtime_filters:bool ->
   ?plan_cache:bool ->
+  ?verify_plans:Mqr_analysis.Verifier.mode ->
   Mqr_catalog.Catalog.t -> t
 
 val catalog : t -> Mqr_catalog.Catalog.t
@@ -50,6 +55,7 @@ val dispatcher_config :
   ?broker:(min_pages:int -> max_pages:int -> int) ->
   ?env_overlay:(Mqr_sql.Query.t -> Mqr_opt.Stats_env.t -> unit) ->
   ?temp_prefix:string ->
+  ?verify:Mqr_analysis.Verifier.mode ->
   unit -> Dispatcher.config
 
 (** (hits, misses, entries) when the plan cache is enabled. *)
@@ -107,6 +113,15 @@ val bind_sql : t -> string -> Mqr_sql.Query.t
 
 (** Optimize without executing: the annotated plan. *)
 val explain : t -> string -> Mqr_opt.Plan.t
+
+(** Static analysis without execution: build the plan exactly as the
+    dispatcher would under [mode] (default [Full]: optimize, insert
+    collectors, re-cost, grant memory; [Off] skips instrumentation) and
+    run every verifier pass over it.  Returns the analysed plan and the
+    findings, errors first. *)
+val lint :
+  t -> ?mode:Dispatcher.mode -> string ->
+  Mqr_opt.Plan.t * Mqr_analysis.Diagnostic.t list
 
 (** Convenience: simulated execution time of a query under a mode. *)
 val time_ms :

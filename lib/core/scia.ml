@@ -167,10 +167,19 @@ let insert ~mu ~env plan =
         incr next_cid;
         let id = !next_id in
         incr next_id;
+        (* the wrapper streams its input through unchanged but pays the
+           per-tuple collection CPU, so the annotation stays internally
+           consistent even before the next re-cost *)
+        let collect_ms =
+          Collector.estimated_cost_ms spec ~rows:p.Plan.est.Plan.rows
+        in
         { Plan.id = id;
           node = Plan.Collect { input = p; spec; cid };
           schema = p.Plan.schema;
-          est = p.Plan.est;
+          est =
+            { p.Plan.est with
+              Plan.op_ms = collect_ms;
+              total_ms = p.Plan.est.Plan.total_ms +. collect_ms };
           min_mem = 0;
           max_mem = 0;
           mem = 0 }

@@ -23,6 +23,8 @@ let spec ?(hist_kind = Histogram.Maxdiff) ?(hist_buckets = 32)
 
 let spec_is_trivial s = s.hist_cols = [] && s.distinct_cols = []
 
+let spec_columns s = s.hist_cols @ s.distinct_cols
+
 type observed = {
   rows : int;
   bytes : int;

@@ -39,6 +39,9 @@ val spec :
 (** Is there anything beyond the free counters to collect? *)
 val spec_is_trivial : spec -> bool
 
+(** Every column the spec tracks (histograms then distincts). *)
+val spec_columns : spec -> string list
+
 type observed = {
   rows : int;
   bytes : int;

@@ -130,20 +130,21 @@ let join_sel ctx ~keys ~extra =
 (* Estimated pass fraction of a filter built from [build_col] applied to
    [probe_col]: by containment, the build side covers at most
    min(distinct(build_col), build_rows) of the probe column's distinct
-   values.  Unknown distincts — or a build-side estimate of under one row,
-   which is a statistics failure rather than a one-distinct-value build —
-   yield 1.0: the filter still runs (its observed selectivity is the
-   point) but earns no cost credit. *)
+   values.  Unknown distincts yield 1.0: the filter still runs (its
+   observed selectivity is the point) but earns no cost credit.  A
+   build-side estimate of under one row is a statistics failure rather
+   than a one-distinct-value build — it is clamped to one row so the
+   containment ratio stays finite and sane (the plan verifier flags the
+   degenerate estimate as RF-DEGEN). *)
 let rf_est_sel ctx ~build_rows ~build_col ~probe_col =
-  if build_rows < 1.0 then 1.0
-  else
-    match
-      ( Selectivity.distinct_of_column ctx.sel_env build_col,
-        Selectivity.distinct_of_column ctx.sel_env probe_col )
-    with
-    | Some db, Some dp when dp >= 1.0 ->
-      Float.min 1.0 (Float.min db build_rows /. dp)
-    | _ -> 1.0
+  let build_rows = Float.max 1.0 build_rows in
+  match
+    ( Selectivity.distinct_of_column ctx.sel_env build_col,
+      Selectivity.distinct_of_column ctx.sel_env probe_col )
+  with
+  | Some db, Some dp when dp >= 1.0 ->
+    Float.min 1.0 (Float.min db build_rows /. dp)
+  | _ -> 1.0
 
 (* Leaves of the probe subtree whose schema owns the filtered column —
    the sites where the dispatcher will apply the filter. *)

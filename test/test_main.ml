@@ -19,4 +19,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("tpcd", Test_tpcd.suite);
       ("wlm", Test_wlm.suite);
-      ("rf", Test_rf.suite) ]
+      ("rf", Test_rf.suite);
+      ("verify", Test_verify.suite) ]
