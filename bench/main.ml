@@ -560,6 +560,67 @@ let sanitize () =
   else Fmt.pr "@.** %d sanitizer mismatches **@." !mismatches
 
 (* ------------------------------------------------------------------ *)
+(* Tracing overhead: the observability subsystem (operator spans,
+   decision-point audit ledger, metrics) is pure observation — it never
+   charges the simulated clock, so a traced run must produce byte-
+   identical result rows and bit-identical simulated elapsed time.  The
+   acceptance bar is <= 5% simulated overhead; pure observation gives
+   exactly 0%.                                                         *)
+
+let trace_scenario () =
+  let module Trace = Mqr_obs.Trace in
+  header
+    (Fmt.str
+       "Tracing overhead - operator spans + audit ledger + metrics on every \
+        query (sf=%g, budget=%d pages)"
+       sf budget_pages);
+  let catalog = Workload.experiment_catalog ~sf () in
+  (* one catalog, two engines: the trace collector is the only difference *)
+  let plain = Engine.create ~budget_pages ~pool_pages catalog in
+  let tr = Trace.create () in
+  let traced = Engine.create ~budget_pages ~pool_pages ~trace:tr catalog in
+  Fmt.pr "%-5s | %12s %12s %9s %7s %7s  %s@." "query" "plain(ms)" "traced(ms)"
+    "overhead" "spans" "ledger" "identical";
+  let mismatches = ref 0 in
+  let prev_spans = ref 0 and prev_ledger = ref 0 in
+  List.iter
+    (fun (q : Queries.query) ->
+       let scenario = "trace/" ^ q.Queries.name in
+       let off = Engine.run_sql plain q.Queries.sql in
+       let on = Engine.run_sql traced q.Queries.sql in
+       record ~scenario ~mode:"trace-off" ~elapsed_ms:off.Dispatcher.elapsed_ms
+         ~switches:off.Dispatcher.switches
+         ~collectors:off.Dispatcher.collectors;
+       record ~scenario ~mode:"trace-on" ~elapsed_ms:on.Dispatcher.elapsed_ms
+         ~switches:on.Dispatcher.switches ~collectors:on.Dispatcher.collectors;
+       let spans = List.length (Trace.spans tr) in
+       let ledger = List.length (Trace.ledger tr) in
+       let identical =
+         on.Dispatcher.elapsed_ms = off.Dispatcher.elapsed_ms
+         && on.Dispatcher.rows = off.Dispatcher.rows
+       in
+       if not identical then incr mismatches;
+       Fmt.pr "%-5s | %12.1f %12.1f %8.1f%% %7d %7d  %s@." q.Queries.name
+         off.Dispatcher.elapsed_ms on.Dispatcher.elapsed_ms
+         (100.0
+          *. (on.Dispatcher.elapsed_ms -. off.Dispatcher.elapsed_ms)
+          /. off.Dispatcher.elapsed_ms)
+         (spans - !prev_spans) (ledger - !prev_ledger)
+         (if identical then "yes" else "** MISMATCH **");
+       prev_spans := spans;
+       prev_ledger := ledger)
+    Queries.all;
+  assert (Trace.open_spans tr = 0);
+  if !mismatches = 0 then
+    Fmt.pr
+      "@.Tracing is pure observation: 0%% simulated overhead, result rows \
+       and elapsed@.time byte-identical with the collector attached \
+       (%d spans, %d ledger entries).@."
+      (List.length (Trace.spans tr))
+      (List.length (Trace.ledger tr))
+  else Fmt.pr "@.** %d tracing mismatches **@." !mismatches
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per figure/table id.       *)
 
 let micro () =
@@ -633,6 +694,7 @@ let () =
    | "rf" -> runtime_filters ()
    | "wlm" -> wlm ()
    | "sanitize" -> sanitize ()
+   | "trace" -> trace_scenario ()
    | "micro" -> micro ()
    | "figures" ->
      figure10 ();
@@ -652,11 +714,12 @@ let () =
      runtime_filters ();
      wlm ();
      sanitize ();
+     trace_scenario ();
      micro ()
    | other ->
      Fmt.epr
        "unknown experiment %S (f10 f11 f12 xfig3 sens overhead joins hist \
-        hybrid scale rf wlm sanitize micro all)@."
+        hybrid scale rf wlm sanitize trace micro all)@."
        other;
      exit 1)
     which;

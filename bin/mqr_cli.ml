@@ -13,6 +13,8 @@ module Queries = Mqr_tpcd.Queries
 module Workload = Mqr_tpcd.Workload
 module Verifier = Mqr_analysis.Verifier
 module Diagnostic = Mqr_analysis.Diagnostic
+module Trace = Mqr_obs.Trace
+module Metrics = Mqr_obs.Metrics
 
 open Cmdliner
 
@@ -77,11 +79,20 @@ let resolve_sql q =
   | exception Invalid_argument _ -> q
 
 let make_engine ?(runtime_filters = false) ?(verify_plans = Verifier.Off)
-    ~sf ~skew ~budget ~pristine () =
+    ?trace ~sf ~skew ~budget ~pristine () =
   let degradations = if pristine then [] else Workload.paper_degradations in
   let catalog = Workload.experiment_catalog ~sf ~skew_z:skew ~degradations () in
   Engine.create ~budget_pages:budget ~pool_pages:(8 * budget) ~runtime_filters
-    ~verify_plans catalog
+    ~verify_plans ?trace catalog
+
+let write_file file contents =
+  Out_channel.with_open_text file (fun oc ->
+    Out_channel.output_string oc contents)
+
+let export_chrome tr file =
+  write_file file (Trace.to_chrome_json tr);
+  Fmt.pr "chrome trace written to %s (load it in chrome://tracing or \
+          ui.perfetto.dev)@." file
 
 let verify_arg =
   let doc = "Statically verify the instrumented plan before executing it \
@@ -99,13 +110,19 @@ let verify_mode ~verify ~sanitize =
   else if verify then Verifier.Pre
   else Verifier.Off
 
+let trace_out_arg =
+  let doc = "Also record an execution trace and write it to $(docv) as \
+             Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let run_cmd =
   let action query sf skew budget mode verbose pristine runtime_filters
-      verify sanitize =
+      verify sanitize trace_out =
     friendly @@ fun () ->
+    let tr = Option.map (fun _ -> Trace.create ()) trace_out in
     let engine =
       make_engine ~verify_plans:(verify_mode ~verify ~sanitize)
-        ~runtime_filters ~sf ~skew ~budget ~pristine ()
+        ~runtime_filters ?trace:tr ~sf ~skew ~budget ~pristine ()
     in
     let sql = resolve_sql query in
     Fmt.pr "running [%s]: %s@.@." (Dispatcher.mode_to_string mode) sql;
@@ -126,13 +143,16 @@ let run_cmd =
     end;
     if report.Dispatcher.verifications > 0 then
       Fmt.pr "plan verified %d time(s), %d filter pages held at completion@."
-        report.Dispatcher.verifications report.Dispatcher.filter_pages_held
+        report.Dispatcher.verifications report.Dispatcher.filter_pages_held;
+    match tr, trace_out with
+    | Some tr, Some file -> export_chrome tr file
+    | _ -> ()
   in
   let info = Cmd.info "run" ~doc:"Execute a query." in
   Cmd.v info
     Term.(const action $ query_arg $ sf_arg $ skew_arg $ budget_arg
           $ mode_arg $ verbose_arg $ pristine_arg $ rf_arg $ verify_arg
-          $ sanitize_arg)
+          $ sanitize_arg $ trace_out_arg)
 
 let explain_cmd =
   let explain_verify_arg =
@@ -377,8 +397,9 @@ let workload_cmd =
     Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc)
   in
   let action queries sf skew budget mode pristine concurrency queue fixed
-      no_feedback jitter seed =
+      no_feedback jitter seed trace_out =
     friendly @@ fun () ->
+    let tr = Option.map (fun _ -> Trace.create ()) trace_out in
     let engine = make_engine ~sf ~skew ~budget ~pristine () in
     let specs =
       List.map
@@ -400,8 +421,11 @@ let workload_cmd =
         arrival_jitter_ms = jitter;
         seed }
     in
-    let report = Wl.run ~options engine specs in
-    Fmt.pr "%a@." Wl.pp report
+    let report = Wl.run ~options ?trace:tr engine specs in
+    Fmt.pr "%a@." Wl.pp report;
+    match tr, trace_out with
+    | Some tr, Some file -> export_chrome tr file
+    | _ -> ()
   in
   let info =
     Cmd.info "workload"
@@ -412,7 +436,70 @@ let workload_cmd =
   Cmd.v info
     Term.(const action $ queries_arg $ sf_arg $ skew_arg $ budget_arg
           $ mode_arg $ pristine_arg $ concurrency_arg $ queue_arg $ fixed_arg
-          $ no_feedback_arg $ jitter_arg $ seed_arg)
+          $ no_feedback_arg $ jitter_arg $ seed_arg $ trace_out_arg)
+
+let trace_cmd =
+  let queries_arg =
+    let doc = "Queries to trace (benchmark names like Q5, or SQL text); \
+               defaults to every benchmark query." in
+    Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the Chrome trace-event JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let summary_arg =
+    let doc = "Write the compact JSON summary (spans, metrics, ledger) to \
+               $(docv)." in
+    Arg.(value & opt (some string) None & info [ "summary" ] ~docv:"FILE" ~doc)
+  in
+  let action queries sf skew budget mode pristine runtime_filters out summary =
+    friendly @@ fun () ->
+    let tr = Trace.create () in
+    let engine =
+      make_engine ~runtime_filters ~trace:tr ~sf ~skew ~budget ~pristine ()
+    in
+    let queries =
+      match queries with
+      | [] -> List.map (fun (q : Queries.query) -> q.Queries.name) Queries.all
+      | qs -> qs
+    in
+    List.iter
+      (fun q ->
+         let report =
+           Engine.run_query engine ~mode ~label:q
+             (Engine.bind_sql engine (resolve_sql q))
+         in
+         Fmt.pr "%s [%s]: %d rows in %.1f simulated ms (%d collectors, %d \
+                 switches)@."
+           q
+           (Dispatcher.mode_to_string mode)
+           (Array.length report.Dispatcher.rows)
+           report.Dispatcher.elapsed_ms report.Dispatcher.collectors
+           report.Dispatcher.switches)
+      queries;
+    Fmt.pr "@.%a@." Trace.pp_ledger tr;
+    Fmt.pr "@.metrics:@.%a@." Metrics.pp (Trace.metrics tr);
+    (match out with Some file -> export_chrome tr file | None -> ());
+    match summary with
+    | Some file ->
+      write_file file (Trace.to_summary_json tr);
+      Fmt.pr "summary written to %s@." file
+    | None -> ()
+  in
+  let info =
+    Cmd.info "trace"
+      ~doc:
+        "Execute queries with the observability subsystem attached: \
+         operator/unit/query spans over the simulated clock, a \
+         decision-point audit ledger with the Eq. 1/Eq. 2 terms behind \
+         every re-optimization decision, and engine metrics.  Tracing \
+         never charges the simulated clock, so timings match an untraced \
+         run exactly."
+  in
+  Cmd.v info
+    Term.(const action $ queries_arg $ sf_arg $ skew_arg $ budget_arg
+          $ mode_arg $ pristine_arg $ rf_arg $ out_arg $ summary_arg)
 
 let queries_cmd =
   let action () =
@@ -434,5 +521,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; explain_cmd; lint_cmd; queries_cmd; workload_cmd;
-            repl_cmd; dump_cmd; load_repl_cmd ]))
+          [ run_cmd; explain_cmd; lint_cmd; trace_cmd; queries_cmd;
+            workload_cmd; repl_cmd; dump_cmd; load_repl_cmd ]))

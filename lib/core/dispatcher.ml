@@ -19,6 +19,8 @@ module Collector = Mqr_exec.Collector
 module Runtime_filter = Mqr_exec.Runtime_filter
 module Verifier = Mqr_analysis.Verifier
 module Diagnostic = Mqr_analysis.Diagnostic
+module Trace = Mqr_obs.Trace
+module Metrics = Mqr_obs.Metrics
 
 let log_src = Logs.Src.create "mqr.dispatcher" ~doc:"Mid-query re-optimization"
 
@@ -60,6 +62,11 @@ type config = {
          before execution (errors refuse to execute), [Sanitize] also
          re-verifies the remainder at every decision point and after
          every mid-query plan switch *)
+  trace : Trace.scope option;
+      (* when set, the run stamps operator/unit/query spans, decision-point
+         audit-ledger entries and metrics into the scope's parent trace;
+         tracing is pure observation and never charges the simulated
+         clock *)
 }
 
 type event =
@@ -95,6 +102,9 @@ type report = {
   elapsed_ms : float;
   counters : Sim_clock.counters;
   events : event list;
+  timed_events : (float * event) list;
+      (* every event with the Sim_clock time at which it was emitted —
+         [events] is the same list unstamped, kept for compatibility *)
   switches : int;
   collectors : int;
   initial_plan : Plan.t;
@@ -144,7 +154,8 @@ type state = {
   mutable temp_names : string list;
   (* alias -> exact cardinality for full (unfiltered) scans *)
   mutable observed_cards : (string * int) list;
-  mutable events : event list;
+  (* (emission time, event), newest first *)
+  mutable events : (float * event) list;
   mutable switches : int;
   mutable next_temp : int;
   mutable next_id : int;  (* fresh plan-node ids *)
@@ -167,6 +178,15 @@ type state = {
   mutable collector_ms : float;
   (* plan-verification runs performed *)
   mutable verifications : int;
+  (* simulated milliseconds runtime filters spent testing probe rows *)
+  mutable filter_probe_ms : float;
+  (* the execution unit that last finished — the cardinality context the
+     audit ledger attaches to every decision entry *)
+  mutable unit_op : string;
+  mutable unit_est : float;
+  mutable unit_actual : int;
+  (* a filter surprise forced the current decision point past Eq. 2 *)
+  mutable last_force : bool;
 }
 
 (* forward declaration for logging of events (defined below) *)
@@ -174,9 +194,114 @@ let pp_event_ref :
   (Format.formatter -> event -> unit) ref =
   ref (fun _ _ -> ())
 
+(* ------------------------------------------------------------------ *)
+(* Observability: translate dispatcher events into audit-ledger entries,
+   metrics and trace instants.  Pure observation — nothing here charges
+   the simulated clock.                                                *)
+
+let now st = Sim_clock.elapsed_ms st.ctx.Exec_ctx.clock
+
+let decision_metric = function
+  | Reopt_policy.Too_cheap -> "decision.too_cheap"
+  | Reopt_policy.Close_enough -> "decision.close_enough"
+  | Reopt_policy.Consider -> "decision.consider"
+
+let ledger_entry st scope ~ts kind =
+  Trace.decision scope ~ts_ms:ts ~unit_op:st.unit_op ~est_rows:st.unit_est
+    ~actual_rows:st.unit_actual kind
+
+let trace_event st scope ~ts ev =
+  let m = Trace.scope_metrics scope in
+  match ev with
+  | Ev_unit_done { op; est_rows; actual_rows } ->
+    st.unit_op <- op;
+    st.unit_est <- est_rows;
+    st.unit_actual <- actual_rows
+  | Ev_collected { cid; alias; columns } ->
+    Metrics.incr m "collector.collections";
+    Trace.instant scope ~cat:"collector"
+      ~name:(Printf.sprintf "collected#%d" cid)
+      ~args:
+        [ ("alias", Trace.Str alias);
+          ("columns", Trace.Str (String.concat "," columns)) ]
+      ~ts_ms:ts ()
+  | Ev_realloc { grants } ->
+    Metrics.incr m "decision.realloc";
+    ledger_entry st scope ~ts
+      (Trace.Realloc
+         { granted_pages =
+             List.fold_left
+               (fun acc (g : Memory_manager.grant) ->
+                  acc + g.Memory_manager.granted)
+               0 grants;
+           consumers = List.length grants })
+  | Ev_considered { decision; t_improved; t_optimizer; t_opt_estimated } ->
+    Metrics.incr m "decision.considered";
+    Metrics.incr m (decision_metric decision);
+    ledger_entry st scope ~ts
+      (Trace.Considered
+         { decision = Reopt_policy.decision_to_string decision;
+           t_improved;
+           t_optimizer;
+           t_opt_estimated;
+           forced = st.last_force })
+  | Ev_switched { t_new_total; t_improved; materialize_ms } ->
+    Metrics.incr m "plan.switched";
+    ledger_entry st scope ~ts
+      (Trace.Switched { t_new_total; t_improved; materialize_ms })
+  | Ev_rejected { t_new_total; t_improved } ->
+    Metrics.incr m "plan.rejected";
+    ledger_entry st scope ~ts (Trace.Rejected { t_new_total; t_improved })
+  | Ev_sampled p ->
+    Metrics.incr m "sampling.probes";
+    Trace.instant scope ~cat:"sampling" ~name:("probe:" ^ p.Sampling.alias)
+      ~args:
+        [ ("sampled", Trace.Int p.Sampling.sampled);
+          ("matched", Trace.Int p.Sampling.matched);
+          ("observed_sel", Trace.Float p.Sampling.observed_selectivity);
+          ("estimated_sel", Trace.Float p.Sampling.estimated_selectivity) ]
+      ~ts_ms:ts ()
+  | Ev_filter { source; target_col; est_sel; observed_sel; probed; dropped;
+                pages } ->
+    Metrics.incr m "filter.built";
+    Metrics.observe m "filter.est_sel" est_sel;
+    Metrics.observe m "filter.observed_sel" observed_sel;
+    Trace.instant scope ~cat:"filter" ~name:("rf:" ^ target_col)
+      ~args:
+        [ ("source", Trace.Str source);
+          ("est_sel", Trace.Float est_sel);
+          ("observed_sel", Trace.Float observed_sel);
+          ("probed", Trace.Int probed);
+          ("dropped", Trace.Int dropped);
+          ("pages", Trace.Int pages) ]
+      ~ts_ms:ts ()
+
 let emit st ev =
-  st.events <- ev :: st.events;
+  let ts = now st in
+  st.events <- (ts, ev) :: st.events;
+  (match st.cfg.trace with
+   | Some scope -> trace_event st scope ~ts ev
+   | None ->
+     (* the ledger's cardinality context is also kept without a trace so
+        behaviour does not depend on observability being attached *)
+     (match ev with
+      | Ev_unit_done { op; est_rows; actual_rows } ->
+        st.unit_op <- op;
+        st.unit_est <- est_rows;
+        st.unit_actual <- actual_rows
+      | _ -> ()));
   Log.debug (fun m -> m "%a" !pp_event_ref ev)
+
+(* Span helpers: no-ops without an attached trace. *)
+let span_open st ~cat name =
+  match st.cfg.trace with
+  | None -> None
+  | Some scope -> Some (Trace.open_span scope ~cat ~name ~ts_ms:(now st) ())
+
+let span_close st ?(args = []) tok =
+  match st.cfg.trace, tok with
+  | Some scope, Some tok -> Trace.close_span scope ~args ~ts_ms:(now st) tok
+  | _ -> ()
 
 let fresh_plan_id st =
   st.next_id <- st.next_id + 1;
@@ -299,21 +424,35 @@ let release_filter_pages st n =
    push it onto the active stack.  An annotation whose build column is
    missing from the delivered schema (projected away) is skipped. *)
 let install_filters st ~source ~rf ~rows ~schema =
-  List.filter_map
-    (fun (f : Plan.rf) ->
-       match Schema.index_of schema f.Plan.rf_build_col with
-       | exception (Not_found | Schema.Ambiguous _) -> None
-       | key_idx ->
-         let want = Runtime_filter.pages_for ~keys:(Array.length rows) in
-         let got = acquire_filter_pages st want in
-         let flt =
-           Runtime_filter.create st.ctx ~source
-             ~build_col:f.Plan.rf_build_col ~target_col:f.Plan.rf_probe_col
-             ~est_sel:f.Plan.rf_sel ~max_pages:got ~key_idx rows
-         in
-         st.active_filters <- flt :: st.active_filters;
-         Some (flt, got))
-    rf
+  let tok =
+    if rf = [] then None else span_open st ~cat:"filter" "rf-build"
+  in
+  let installed =
+    List.filter_map
+      (fun (f : Plan.rf) ->
+         match Schema.index_of schema f.Plan.rf_build_col with
+         | exception (Not_found | Schema.Ambiguous _) -> None
+         | key_idx ->
+           let want = Runtime_filter.pages_for ~keys:(Array.length rows) in
+           let got = acquire_filter_pages st want in
+           let flt =
+             Runtime_filter.create st.ctx ~source
+               ~build_col:f.Plan.rf_build_col ~target_col:f.Plan.rf_probe_col
+               ~est_sel:f.Plan.rf_sel ~max_pages:got ~key_idx rows
+           in
+           st.active_filters <- flt :: st.active_filters;
+           Some (flt, got))
+      rf
+  in
+  if rf <> [] then
+    span_close st tok
+      ~args:
+        [ ("source", Trace.Str source);
+          ("filters", Trace.Int (List.length installed));
+          ("keys", Trace.Int (Array.length rows));
+          ("pages",
+           Trace.Int (List.fold_left (fun a (_, p) -> a + p) 0 installed)) ];
+  installed
 
 (* Pop the filters once the probe side has run: report the observed pass
    rate (feeding the re-optimization policy) and return the leased
@@ -347,14 +486,21 @@ let apply_runtime_filters st schema rows =
   match st.active_filters with
   | [] -> rows
   | filters ->
-    List.fold_left
-      (fun rows flt ->
-         match Runtime_filter.applicable flt schema with
-         | Some idx -> Runtime_filter.apply st.ctx flt ~idx rows
-         | None -> rows)
-      rows filters
+    let t0 = Sim_clock.snapshot st.ctx.Exec_ctx.clock in
+    let rows =
+      List.fold_left
+        (fun rows flt ->
+           match Runtime_filter.applicable flt schema with
+           | Some idx -> Runtime_filter.apply st.ctx flt ~idx rows
+           | None -> rows)
+        rows filters
+    in
+    st.filter_probe_ms <-
+      st.filter_probe_ms +. Sim_clock.since st.ctx.Exec_ctx.clock t0;
+    rows
 
 let rec exec_node st (p : Plan.t) : Tuple.t array * Schema.t =
+  let tok = span_open st ~cat:"operator" (Plan.op_name p) in
   let t0 = Sim_clock.snapshot st.ctx.Exec_ctx.clock in
   let rows, schema = exec_node_inner st p in
   let total = Sim_clock.since st.ctx.Exec_ctx.clock t0 in
@@ -364,8 +510,15 @@ let rec exec_node st (p : Plan.t) : Tuple.t array * Schema.t =
          acc +. Option.value ~default:0.0 (Hashtbl.find_opt st.actual_ms c.Plan.id))
       0.0 (Plan.children p)
   in
-  Hashtbl.replace st.actual_ms p.Plan.id (Float.max 0.0 (total -. children_ms));
+  let self_ms = Float.max 0.0 (total -. children_ms) in
+  Hashtbl.replace st.actual_ms p.Plan.id self_ms;
   Hashtbl.replace st.actuals p.Plan.id (Array.length rows);
+  span_close st tok
+    ~args:
+      [ ("id", Trace.Int p.Plan.id);
+        ("est_rows", Trace.Float p.Plan.est.Plan.rows);
+        ("rows", Trace.Int (Array.length rows));
+        ("self_ms", Trace.Float self_ms) ];
   (rows, schema)
 
 and exec_node_inner st (p : Plan.t) : Tuple.t array * Schema.t =
@@ -424,10 +577,17 @@ and exec_node_inner st (p : Plan.t) : Tuple.t array * Schema.t =
          (alias, Array.length rows)
          :: List.remove_assoc alias st.observed_cards
      | _ -> ());
+    let ctok =
+      span_open st ~cat:"collector" (Printf.sprintf "collect#%d" cid)
+    in
     let c0 = Sim_clock.snapshot ctx.Exec_ctx.clock in
     let obs = Collector.collect ctx schema spec rows in
-    st.collector_ms <-
-      st.collector_ms +. Sim_clock.since ctx.Exec_ctx.clock c0;
+    let collect_ms = Sim_clock.since ctx.Exec_ctx.clock c0 in
+    st.collector_ms <- st.collector_ms +. collect_ms;
+    span_close st ctok
+      ~args:
+        [ ("rows", Trace.Int (Array.length rows));
+          ("collect_ms", Trace.Float collect_ms) ];
     let columns = Collector.spec_columns spec in
     List.iter
       (fun column ->
@@ -784,6 +944,12 @@ let try_replan ?(force = false) st =
 let decision_point st =
   let force = st.filter_surprise in
   st.filter_surprise <- false;
+  st.last_force <- force;
+  (match st.cfg.trace with
+   | Some scope ->
+     ignore (Trace.new_decision_point scope);
+     Metrics.incr (Trace.scope_metrics scope) "decision_points"
+   | None -> ());
   (* improved estimates for the remainder *)
   st.current <- Optimizer.recost ~planning_mem:st.cfg.opt_options.Optimizer.planning_mem_pages
       ~model:st.cfg.model ~env:st.env st.current;
@@ -813,10 +979,19 @@ type run = {
   st : state;
   plan0 : Plan.t;
   r_collectors : int;
+  q_span : Trace.token option;
   mutable result : report option;
 }
 
 let start ?prepared cfg query =
+  (* the query span covers everything, optimization included *)
+  let q_span =
+    Option.map
+      (fun scope ->
+         Trace.open_span scope ~cat:"query"
+           ~name:("query:" ^ Trace.scope_label scope) ~ts_ms:0.0 ())
+      cfg.trace
+  in
   let ctx = Exec_ctx.create ~model:cfg.model ~pool_pages:cfg.pool_pages () in
   let env = Stats_env.create cfg.catalog query.Query.relations in
   (match cfg.env_overlay with
@@ -881,7 +1056,12 @@ let start ?prepared cfg query =
       filter_obs = [];
       filter_surprise = false;
       collector_ms = 0.0;
-      verifications = 0 }
+      verifications = 0;
+      filter_probe_ms = 0.0;
+      unit_op = "";
+      unit_est = 0.0;
+      unit_actual = 0;
+      last_force = false }
   in
   ignore (allocate_memory st);
   let plan0 =
@@ -893,7 +1073,7 @@ let start ?prepared cfg query =
   (* refuse to execute a plan that fails static analysis *)
   verify_plan st ~what:"initial plan" plan0;
   List.iter (fun p -> emit st (Ev_sampled p)) probes;
-  { st; plan0; r_collectors = collectors; result = None }
+  { st; plan0; r_collectors = collectors; q_span; result = None }
 
 (* Re-negotiate the memory lease for a run that has not finished —
    called by a workload manager when pages freed by another query can be
@@ -921,6 +1101,8 @@ let step r =
     let st = r.st in
     (match find_ready_join st.current with
      | Some j ->
+       let utok = span_open st ~cat:"unit" ("unit:" ^ Plan.op_name j) in
+       let probe0 = st.filter_probe_ms in
        let rows, schema = exec_node st j in
        emit st
          (Ev_unit_done
@@ -951,21 +1133,57 @@ let step r =
        st.current <-
          replace_node st.current ~target_id:j.Plan.id ~replacement:leaf;
        decision_point st;
+       span_close st utok
+         ~args:
+           [ ("op", Trace.Str (Plan.op_name j));
+             ("est_rows", Trace.Float j.Plan.est.Plan.rows);
+             ("rows", Trace.Int (Array.length rows));
+             ("rf_probe_ms", Trace.Float (st.filter_probe_ms -. probe0)) ];
        None
      | None ->
        (* Remaining stack: aggregate/sort/project/limit over the last
           result. *)
+       let utok = span_open st ~cat:"unit" "unit:finalize" in
        let rows, result_schema = exec_node st st.current in
+       span_close st utok
+         ~args:[ ("rows", Trace.Int (Array.length rows)) ];
        if st.cfg.verify = Verifier.Sanitize then
          assert_filters_retired st ~what:"query completion";
        (* Drop temp tables so the engine can be reused. *)
        List.iter (Catalog.drop_table st.cfg.catalog) st.temp_names;
+       let elapsed = Sim_clock.elapsed_ms st.ctx.Exec_ctx.clock in
+       (match st.cfg.trace, r.q_span with
+        | Some scope, Some q_span ->
+          let hits = Buffer_pool.hits st.ctx.Exec_ctx.pool in
+          let misses = Buffer_pool.misses st.ctx.Exec_ctx.pool in
+          Trace.close_span scope ~ts_ms:elapsed q_span
+            ~args:
+              [ ("rows", Trace.Int (Array.length rows));
+                ("switches", Trace.Int st.switches);
+                ("collectors", Trace.Int r.r_collectors);
+                ("collector_ms", Trace.Float st.collector_ms);
+                ("pool_hits", Trace.Int hits);
+                ("pool_misses", Trace.Int misses) ];
+          let m = Trace.scope_metrics scope in
+          Metrics.incr m "queries";
+          Metrics.incr m ~by:r.r_collectors "collectors";
+          Metrics.incr m ~by:hits "buffer_pool.hits";
+          Metrics.incr m ~by:misses "buffer_pool.misses";
+          let th = Metrics.counter m "buffer_pool.hits" in
+          let tm = Metrics.counter m "buffer_pool.misses" in
+          if th + tm > 0 then
+            Metrics.set_gauge m "buffer_pool.hit_ratio"
+              (float_of_int th /. float_of_int (th + tm));
+          Metrics.observe m "query.elapsed_ms" elapsed;
+          Metrics.observe m "query.collector_ms" st.collector_ms
+        | _ -> ());
        let report =
          { rows;
            result_schema;
-           elapsed_ms = Sim_clock.elapsed_ms st.ctx.Exec_ctx.clock;
+           elapsed_ms = elapsed;
            counters = Sim_clock.counters st.ctx.Exec_ctx.clock;
-           events = List.rev st.events;
+           events = List.rev_map snd st.events;
+           timed_events = List.rev st.events;
            switches = st.switches;
            collectors = r.r_collectors;
            initial_plan = r.plan0;
@@ -1032,19 +1250,24 @@ let pp_explain_analyze fmt (report : report) =
     List.iter (go (indent + 2)) (Plan.children p)
   in
   go 0 report.initial_plan;
+  (* Uniform stat block: every verify mode (off / pre-execution /
+     sanitize) renders the same lines, so explain-analyze output can be
+     diffed across modes without normalisation. *)
+  Fmt.pf fmt "collectors: %d (%.1f ms)@." report.collectors
+    report.collector_ms;
+  Fmt.pf fmt "runtime filters: %d (%d pages peak, %d held at completion)@."
+    (List.length report.filters)
+    report.filter_pages_peak report.filter_pages_held;
   List.iter
     (fun (col, est, obs) ->
-       Fmt.pf fmt "runtime filter on %s: sel est=%.3f observed=%.3f@." col est
-         obs)
+       Fmt.pf fmt "  filter on %s: sel est=%.3f observed=%.3f@." col est obs)
     report.filters;
-  if report.filter_pages_peak > 0 then
-    Fmt.pf fmt "runtime filter memory: %d pages peak@."
-      report.filter_pages_peak;
   let accesses = report.pool_hits + report.pool_misses in
   Fmt.pf fmt "buffer pool: %d hits / %d misses (%.1f%% hit rate)@."
     report.pool_hits report.pool_misses
     (if accesses = 0 then 0.0
-     else 100.0 *. float_of_int report.pool_hits /. float_of_int accesses)
+     else 100.0 *. float_of_int report.pool_hits /. float_of_int accesses);
+  Fmt.pf fmt "verification: %d runs@." report.verifications
 
 let pp_event fmt = function
   | Ev_unit_done { op; est_rows; actual_rows } ->

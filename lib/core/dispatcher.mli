@@ -64,6 +64,12 @@ type config = {
           mid-query plan switch, and asserts the runtime-filter lease
           invariant ([filter_pages_held = 0]) there.  Verification is
           pure analysis — it never touches the simulated clock. *)
+  trace : Mqr_obs.Trace.scope option;
+      (** when set, the run stamps operator/unit/query spans,
+          decision-point audit-ledger entries and metrics into the scope's
+          trace (see {!Mqr_obs.Trace}).  Tracing is pure observation: it
+          never charges the simulated clock, so a traced run's elapsed
+          time and result rows are identical to an untraced one *)
 }
 
 type event =
@@ -99,6 +105,10 @@ type report = {
   elapsed_ms : float;
   counters : Sim_clock.counters;
   events : event list;
+  timed_events : (float * event) list;
+      (** every event paired with the simulated time at which it was
+          emitted — [events] is the same list unstamped, kept for
+          compatibility *)
   switches : int;
   collectors : int;  (** collectors inserted into the initial plan *)
   initial_plan : Mqr_opt.Plan.t;

@@ -7,6 +7,7 @@ module Stats_env = Mqr_opt.Stats_env
 module Plan = Mqr_opt.Plan
 module Memory_manager = Mqr_memman.Memory_manager
 module Verifier = Mqr_analysis.Verifier
+module Trace = Mqr_obs.Trace
 
 type t = {
   catalog : Catalog.t;
@@ -18,12 +19,13 @@ type t = {
   udfs : Parser.udf_def list ref;
   plan_cache : Plan_cache.t option;
   verify : Verifier.mode;
+  trace : Trace.t option;
 }
 
 let create ?(model = Sim_clock.default_model) ?(pool_pages = 2048)
     ?(budget_pages = 512) ?(params = Reopt_policy.default_params)
     ?opt_options ?(runtime_filters = false) ?(plan_cache = false)
-    ?(verify_plans = Verifier.Off) catalog =
+    ?(verify_plans = Verifier.Off) ?trace catalog =
   (* Unless told otherwise, the optimizer assumes each memory consumer will
      receive about half the memory-manager budget. *)
   let opt_options =
@@ -37,7 +39,8 @@ let create ?(model = Sim_clock.default_model) ?(pool_pages = 2048)
   { catalog; model; pool_pages; budget_pages; params; opt_options;
     udfs = ref [];
     plan_cache = (if plan_cache then Some (Plan_cache.create ()) else None);
-    verify = verify_plans }
+    verify = verify_plans;
+    trace }
 
 let catalog t = t.catalog
 
@@ -62,7 +65,16 @@ let with_budget t ~budget_pages =
 let register_udf t ~name ?selectivity fn =
   t.udfs := { Parser.name; fn; selectivity } :: !(t.udfs)
 
-let config t mode start_sampling =
+(* One trace lane per query: the scope's label is what the Chrome-trace
+   thread is called, so prefer the (truncated) SQL text. *)
+let truncate_label s =
+  let s = String.map (function '\n' | '\t' | '\r' -> ' ' | c -> c) s in
+  if String.length s <= 48 then s else String.sub s 0 45 ^ "..."
+
+let scope_for t label =
+  Option.map (fun tr -> Trace.scope tr ~label ()) t.trace
+
+let config ?trace t mode start_sampling =
   { Dispatcher.catalog = t.catalog;
     model = t.model;
     pool_pages = t.pool_pages;
@@ -74,7 +86,8 @@ let config t mode start_sampling =
     broker = None;
     env_overlay = None;
     temp_prefix = "";
-    verify = t.verify }
+    verify = t.verify;
+    trace }
 
 let budget_pages t = t.budget_pages
 
@@ -82,14 +95,15 @@ let budget_pages t = t.budget_pages
    engine's settings, overriding the pieces they own (memory broker,
    statistics overlay, temp-table namespace). *)
 let dispatcher_config t ~mode ?probe_rows ?budget_pages ?broker ?env_overlay
-    ?(temp_prefix = "") ?verify () =
+    ?(temp_prefix = "") ?verify ?trace () =
   { (config t mode probe_rows) with
     Dispatcher.budget_pages =
       Option.value ~default:t.budget_pages budget_pages;
     broker;
     env_overlay;
     temp_prefix;
-    verify = Option.value ~default:t.verify verify }
+    verify = Option.value ~default:t.verify verify;
+    trace }
 
 let bind_sql t sql = Query.bind t.catalog (Parser.parse ~udfs:!(t.udfs) sql)
 
@@ -166,12 +180,13 @@ let delete_rows t ~table ~where =
   Catalog.note_updates t.catalog ~table deleted;
   deleted
 
-let run_query t ?(mode = Dispatcher.Full) ?probe_rows q =
-  Dispatcher.run (config t mode probe_rows) q
+let run_query t ?(mode = Dispatcher.Full) ?probe_rows ?(label = "query") q =
+  Dispatcher.run (config ?trace:(scope_for t label) t mode probe_rows) q
 
 let run_sql t ?(mode = Dispatcher.Full) ?probe_rows sql =
+  let label = truncate_label sql in
   match t.plan_cache with
-  | None -> run_query t ~mode ?probe_rows (bind_sql t sql)
+  | None -> run_query t ~mode ?probe_rows ~label (bind_sql t sql)
   | Some cache ->
     (* plans are instrumented per mode, so the mode is part of the key *)
     let key = Dispatcher.mode_to_string mode ^ "|" ^ sql in
@@ -179,10 +194,13 @@ let run_sql t ?(mode = Dispatcher.Full) ?probe_rows sql =
      | Some entry ->
        Dispatcher.run
          ~prepared:(entry.Plan_cache.plan, entry.Plan_cache.collectors)
-         (config t mode probe_rows) entry.Plan_cache.query
+         (config ?trace:(scope_for t label) t mode probe_rows)
+         entry.Plan_cache.query
      | None ->
        let q = bind_sql t sql in
-       let report = Dispatcher.run (config t mode probe_rows) q in
+       let report =
+         Dispatcher.run (config ?trace:(scope_for t label) t mode probe_rows) q
+       in
        Plan_cache.store cache t.catalog key
          ~plan:report.Dispatcher.initial_plan ~query:q
          ~collectors:report.Dispatcher.collectors;
@@ -231,7 +249,9 @@ let copy_csv t ~table ~file =
 let execute t ?mode ?probe_rows sql =
   match Parser.parse_statement ~udfs:!(t.udfs) sql with
   | Parser.Select q ->
-    Rows (run_query t ?mode ?probe_rows (Query.bind t.catalog q))
+    Rows
+      (run_query t ?mode ?probe_rows ~label:(truncate_label sql)
+         (Query.bind t.catalog q))
   | Parser.Insert { table; rows } ->
     Modified { table; count = insert_rows t ~table rows }
   | Parser.Delete { table; where } ->

@@ -25,7 +25,12 @@ type t
     (see {!Mqr_analysis.Verifier}): [Pre] analyses every instrumented
     plan before execution and refuses to run one with error-severity
     findings; [Sanitize] additionally re-verifies the remainder plan at
-    every decision point and after every mid-query plan switch. *)
+    every decision point and after every mid-query plan switch.  [trace]
+    attaches an observability collector (see {!Mqr_obs.Trace}): every
+    query run through the engine opens a scope in it (labelled with its
+    truncated SQL) and stamps operator spans, decision-point ledger
+    entries and metrics — pure observation that never charges the
+    simulated clock. *)
 val create :
   ?model:Sim_clock.model ->
   ?pool_pages:int ->
@@ -35,6 +40,7 @@ val create :
   ?runtime_filters:bool ->
   ?plan_cache:bool ->
   ?verify_plans:Mqr_analysis.Verifier.mode ->
+  ?trace:Mqr_obs.Trace.t ->
   Mqr_catalog.Catalog.t -> t
 
 val catalog : t -> Mqr_catalog.Catalog.t
@@ -56,6 +62,7 @@ val dispatcher_config :
   ?env_overlay:(Mqr_sql.Query.t -> Mqr_opt.Stats_env.t -> unit) ->
   ?temp_prefix:string ->
   ?verify:Mqr_analysis.Verifier.mode ->
+  ?trace:Mqr_obs.Trace.scope ->
   unit -> Dispatcher.config
 
 (** (hits, misses, entries) when the plan cache is enabled. *)
@@ -103,10 +110,11 @@ val analyze :
   t -> ?kind:Mqr_stats.Histogram.kind -> ?buckets:int -> ?keys:string list ->
   string -> unit
 
-(** Run an already-bound query block. *)
+(** Run an already-bound query block.  [label] names the query's trace
+    scope when the engine was created with [?trace]. *)
 val run_query :
-  t -> ?mode:Dispatcher.mode -> ?probe_rows:int -> Mqr_sql.Query.t ->
-  Dispatcher.report
+  t -> ?mode:Dispatcher.mode -> ?probe_rows:int -> ?label:string ->
+  Mqr_sql.Query.t -> Dispatcher.report
 
 (** Parse and bind without executing. *)
 val bind_sql : t -> string -> Mqr_sql.Query.t

@@ -1,0 +1,102 @@
+module Histogram = Mqr_stats.Histogram
+
+type series = {
+  mutable samples : float list;  (* newest first *)
+  mutable s_n : int;
+  mutable s_min : float;
+  mutable s_max : float;
+  mutable s_sum : float;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  series : (string, series) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    series = Hashtbl.create 16 }
+
+let incr t ?(by = 1) name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace t.counters name (ref by)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace t.gauges name (ref v)
+
+let observe t name v =
+  let s =
+    match Hashtbl.find_opt t.series name with
+    | Some s -> s
+    | None ->
+      let s =
+        { samples = []; s_n = 0; s_min = infinity; s_max = neg_infinity;
+          s_sum = 0.0 }
+      in
+      Hashtbl.replace t.series name s;
+      s
+  in
+  s.samples <- v :: s.samples;
+  s.s_n <- s.s_n + 1;
+  if v < s.s_min then s.s_min <- v;
+  if v > s.s_max then s.s_max <- v;
+  s.s_sum <- s.s_sum +. v
+
+type summary = {
+  n : int;
+  min : float;
+  max : float;
+  sum : float;
+  buckets : (float * float * int) list;
+}
+
+(* Samples <= 0 cannot live on a log scale; clamp them to a tiny positive
+   floor so zero selectivities and zero-cost spans still land in the
+   smallest bucket instead of being dropped. *)
+let log_floor = 1e-9
+
+let summarize samples s =
+  (* equi-width over log2(v) = log-scale over v; reuse lib/stats *)
+  let logs =
+    Array.of_list
+      (List.rev_map (fun v -> Float.log2 (Float.max log_floor v)) samples)
+  in
+  let h = Histogram.build Histogram.Equi_width ~buckets:8 logs in
+  let buckets =
+    List.filter_map
+      (fun (b : Histogram.bucket) ->
+         let count = int_of_float (b.Histogram.rows +. 0.5) in
+         if count = 0 then None
+         else Some (Float.exp2 b.Histogram.lo, Float.exp2 b.Histogram.hi, count))
+      (Histogram.buckets h)
+  in
+  { n = s.s_n; min = s.s_min; max = s.s_max; sum = s.s_sum; buckets }
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = sorted_bindings t.counters ( ! )
+let gauges t = sorted_bindings t.gauges ( ! )
+
+let histograms t =
+  sorted_bindings t.series (fun s -> summarize s.samples s)
+
+let pp fmt t =
+  Fmt.pf fmt "@[<v>";
+  List.iter (fun (k, v) -> Fmt.pf fmt "%-32s %d@," k v) (counters t);
+  List.iter (fun (k, v) -> Fmt.pf fmt "%-32s %.3f@," k v) (gauges t);
+  List.iter
+    (fun (k, s) ->
+       Fmt.pf fmt "%-32s n=%d min=%.3f max=%.3f mean=%.3f@," k s.n s.min s.max
+         (s.sum /. float_of_int (Stdlib.max 1 s.n)))
+    (histograms t);
+  Fmt.pf fmt "@]"

@@ -1,0 +1,50 @@
+(** Engine-wide metrics registry: counters, gauges, and log-scale
+    histograms.
+
+    Everything is in-memory and zero-I/O: recording a sample never touches
+    the simulated clock or the filesystem, so metrics can stay enabled in
+    production paths without perturbing a query's measured cost.  Export
+    views ({!counters}, {!gauges}, {!histograms}) return
+    deterministically-sorted association lists so reports and golden files
+    are byte-stable.
+
+    Histograms are log-scale: samples are binned over [log2 v] using the
+    {!Mqr_stats.Histogram} machinery (an equi-width histogram over the log
+    domain is exactly a log-scale histogram over the raw domain), which
+    suits the engine's heavy-tailed series — elapsed milliseconds, queue
+    waits, filter selectivities. *)
+
+type t
+
+val create : unit -> t
+
+(** Add [by] (default 1) to a named counter, creating it at 0. *)
+val incr : t -> ?by:int -> string -> unit
+
+(** Current value of a counter (0 when never incremented). *)
+val counter : t -> string -> int
+
+(** Set a named gauge to its latest value. *)
+val set_gauge : t -> string -> float -> unit
+
+(** Record one sample into a named log-scale histogram series. *)
+val observe : t -> string -> float -> unit
+
+(** Summary of one histogram series.  [buckets] are [(lo, hi, count)] in
+    the raw domain with power-of-two boundaries; samples [<= 0] are
+    clamped to the smallest positive bucket. *)
+type summary = {
+  n : int;
+  min : float;
+  max : float;
+  sum : float;
+  buckets : (float * float * int) list;
+}
+
+(** Sorted by name, for deterministic reports. *)
+val counters : t -> (string * int) list
+
+val gauges : t -> (string * float) list
+val histograms : t -> (string * summary) list
+
+val pp : Format.formatter -> t -> unit

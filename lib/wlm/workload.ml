@@ -2,6 +2,8 @@ module Engine = Mqr_core.Engine
 module Dispatcher = Mqr_core.Dispatcher
 module Query = Mqr_sql.Query
 module Rng = Mqr_stats.Rng
+module Trace = Mqr_obs.Trace
+module Metrics = Mqr_obs.Metrics
 
 type spec = {
   label : string;
@@ -75,7 +77,7 @@ type entry = {
   mutable e_report : Dispatcher.report option;
 }
 
-let run ?(options = default_options) engine specs =
+let run ?(options = default_options) ?trace engine specs =
   if options.max_concurrency < 1 then
     invalid_arg "Workload.run: max_concurrency < 1";
   let catalog = Engine.catalog engine in
@@ -128,6 +130,18 @@ let run ?(options = default_options) engine specs =
   in
   let admit e ~now =
     let i = e.e_index in
+    (* the admission time anchors the query's trace lane on the shared
+       workload timeline: span timestamps are per-query Sim_clock times
+       offset by it, so concurrent queries interleave correctly *)
+    e.e_admit <- Float.max e.e_arrival now;
+    let scope =
+      Option.map
+        (fun tr ->
+           Metrics.observe (Trace.metrics tr) "wlm.queue_ms"
+             (e.e_admit -. e.e_arrival);
+           Trace.scope tr ~offset_ms:e.e_admit ~label:e.e_label ())
+        trace
+    in
     let budget_pages =
       match options.memory with
       | Fixed_per_query pages -> Some pages
@@ -145,12 +159,11 @@ let run ?(options = default_options) engine specs =
     let cfg =
       Engine.dispatcher_config engine ~mode:e.e_spec.mode ?budget_pages
         ?broker:broker_fn ?env_overlay
-        ~temp_prefix:(Printf.sprintf "_w%d" i) ()
+        ~temp_prefix:(Printf.sprintf "_w%d" i) ?trace:scope ()
     in
     let query = Engine.bind_sql engine e.e_spec.sql in
     note_started ();
     let r = Dispatcher.start cfg query in
-    e.e_admit <- Float.max e.e_arrival now;
     e.e_state <- Running (query, r);
     incr running
   in
@@ -195,6 +208,9 @@ let run ?(options = default_options) engine specs =
        else begin
          e.e_state <- Shed;
          note_started ();  (* shed queries will never claim their floor *)
+         (match trace with
+          | Some tr -> Metrics.incr (Trace.metrics tr) "wlm.shed"
+          | None -> ());
          rejected := (e.e_index, e.e_label) :: !rejected
        end)
     entries;

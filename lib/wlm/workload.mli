@@ -72,6 +72,14 @@ type report = {
   stats_applied : int;          (** feedback-cache overrides installed *)
 }
 
-val run : ?options:options -> Mqr_core.Engine.t -> spec list -> report
+(** [trace] attaches an observability collector: each admitted query
+    opens a scope (one Chrome-trace lane, labelled with the spec's label)
+    whose [offset_ms] is the query's admission time, so spans from
+    concurrently-running queries interleave correctly on the shared
+    workload timeline.  Queue waits are recorded in the [wlm.queue_ms]
+    histogram and shed queries bump the [wlm.shed] counter. *)
+val run :
+  ?options:options -> ?trace:Mqr_obs.Trace.t -> Mqr_core.Engine.t ->
+  spec list -> report
 
 val pp : Format.formatter -> report -> unit

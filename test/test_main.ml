@@ -20,4 +20,5 @@ let () =
       ("tpcd", Test_tpcd.suite);
       ("wlm", Test_wlm.suite);
       ("rf", Test_rf.suite);
-      ("verify", Test_verify.suite) ]
+      ("verify", Test_verify.suite);
+      ("obs", Test_obs.suite) ]

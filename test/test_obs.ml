@@ -1,0 +1,365 @@
+(* Observability subsystem: metrics registry, span nesting, audit ledger
+   consistency with the dispatcher's event log, and the zero-overhead
+   guarantee (tracing never moves the simulated clock). *)
+module Engine = Mqr_core.Engine
+module Dispatcher = Mqr_core.Dispatcher
+module Wl = Mqr_wlm.Workload
+module Queries = Mqr_tpcd.Queries
+module Tpcd = Mqr_tpcd.Workload
+module Trace = Mqr_obs.Trace
+module Metrics = Mqr_obs.Metrics
+
+let engine ?trace () =
+  let catalog = Tpcd.experiment_catalog ~sf:0.001 () in
+  Engine.create ~budget_pages:64 ~pool_pages:512 ?trace catalog
+
+let sql name = (Queries.find name).Queries.sql
+
+(* --- metrics registry --- *)
+
+let test_metrics_counters_and_gauges () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  Metrics.incr m ~by:4 "a";
+  Metrics.incr m "b";
+  Metrics.set_gauge m "g" 0.25;
+  Metrics.set_gauge m "g" 0.5;
+  Alcotest.(check int) "counter accumulates" 5 (Metrics.counter m "a");
+  Alcotest.(check int) "unknown counter is 0" 0 (Metrics.counter m "zzz");
+  Alcotest.(check (list (pair string int)))
+    "counters sorted by name"
+    [ ("a", 5); ("b", 1) ]
+    (Metrics.counters m);
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "gauge keeps latest value"
+    [ ("g", 0.5) ]
+    (Metrics.gauges m)
+
+let test_metrics_log_histogram () =
+  let m = Metrics.create () in
+  List.iter (Metrics.observe m "ms") [ 1.0; 2.0; 4.0; 1024.0 ];
+  match Metrics.histograms m with
+  | [ ("ms", s) ] ->
+    Alcotest.(check int) "n" 4 s.Metrics.n;
+    Alcotest.(check (float 1e-9)) "min" 1.0 s.Metrics.min;
+    Alcotest.(check (float 1e-9)) "max" 1024.0 s.Metrics.max;
+    Alcotest.(check (float 1e-9)) "sum" 1031.0 s.Metrics.sum;
+    Alcotest.(check int) "all samples binned" 4
+      (List.fold_left (fun acc (_, _, c) -> acc + c) 0 s.Metrics.buckets);
+    (* log-scale: boundaries stay positive (and may collapse to a
+       singleton — histogram buckets are inclusive on both ends) *)
+    List.iter
+      (fun (lo, hi, c) ->
+         if c > 0 then
+           Alcotest.(check bool) "bucket is a positive interval" true
+             (0.0 < lo && lo <= hi))
+      s.Metrics.buckets
+  | hs ->
+    Alcotest.failf "expected exactly one histogram series, got %d"
+      (List.length hs)
+
+(* --- span stack discipline --- *)
+
+let test_span_stack_discipline () =
+  let tr = Trace.create () in
+  let s = Trace.scope tr ~label:"q" () in
+  let outer = Trace.open_span s ~name:"outer" ~ts_ms:0.0 () in
+  let inner = Trace.open_span s ~name:"inner" ~ts_ms:1.0 () in
+  Alcotest.check_raises "closing out of order is malformed nesting"
+    (Invalid_argument "Trace.close_span: span closed out of order")
+    (fun () -> Trace.close_span s ~ts_ms:2.0 outer);
+  Trace.close_span s ~ts_ms:2.0 inner;
+  Trace.close_span s ~ts_ms:3.0 outer;
+  Alcotest.(check int) "no spans left open" 0 (Trace.open_spans tr);
+  match Trace.spans tr with
+  | [ i; o ] ->
+    (* completion order: inner closes first *)
+    Alcotest.(check string) "inner first" "inner" i.Trace.sp_name;
+    Alcotest.(check int) "inner depth" 1 i.Trace.sp_depth;
+    Alcotest.(check string) "outer second" "outer" o.Trace.sp_name;
+    Alcotest.(check int) "outer depth" 0 o.Trace.sp_depth
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+(* Two spans on the same lane must be disjoint or properly nested —
+   partial overlap means the trace forest is malformed. *)
+let assert_well_formed tr =
+  Alcotest.(check int) "no orphan (unclosed) spans" 0 (Trace.open_spans tr);
+  let spans = Trace.spans tr in
+  List.iter
+    (fun (a : Trace.span) ->
+       Alcotest.(check bool) "span interval is ordered" true
+         (a.Trace.sp_begin_ms <= a.Trace.sp_end_ms))
+    spans;
+  List.iter
+    (fun (a : Trace.span) ->
+       List.iter
+         (fun (b : Trace.span) ->
+            if a != b && a.Trace.sp_tid = b.Trace.sp_tid then begin
+              let disjoint =
+                a.Trace.sp_end_ms <= b.Trace.sp_begin_ms
+                || b.Trace.sp_end_ms <= a.Trace.sp_begin_ms
+              in
+              let a_inside_b =
+                b.Trace.sp_begin_ms <= a.Trace.sp_begin_ms
+                && a.Trace.sp_end_ms <= b.Trace.sp_end_ms
+              in
+              let b_inside_a =
+                a.Trace.sp_begin_ms <= b.Trace.sp_begin_ms
+                && b.Trace.sp_end_ms <= a.Trace.sp_end_ms
+              in
+              Alcotest.(check bool) "spans disjoint or nested" true
+                (disjoint || a_inside_b || b_inside_a)
+            end)
+         spans)
+    spans
+
+let test_single_query_spans () =
+  let tr = Trace.create () in
+  let e = engine ~trace:tr () in
+  let r = Engine.run_sql e (sql "Q3") in
+  assert_well_formed tr;
+  Alcotest.(check int) "one trace lane" 1 (List.length (Trace.queries tr));
+  let spans = Trace.spans tr in
+  Alcotest.(check bool) "at least one span per operator" true
+    (List.length spans >= List.length r.Dispatcher.actual_rows);
+  let cats =
+    List.sort_uniq compare (List.map (fun s -> s.Trace.sp_cat) spans)
+  in
+  List.iter
+    (fun c ->
+       Alcotest.(check bool) (c ^ " spans present") true (List.mem c cats))
+    [ "query"; "unit"; "operator" ];
+  (* exactly one query-depth span and it covers the whole run *)
+  match List.filter (fun s -> s.Trace.sp_cat = "query") spans with
+  | [ q ] ->
+    Alcotest.(check (float 1e-9)) "query span starts at 0" 0.0
+      q.Trace.sp_begin_ms;
+    Alcotest.(check (float 1e-6)) "query span ends at elapsed"
+      r.Dispatcher.elapsed_ms q.Trace.sp_end_ms
+  | qs -> Alcotest.failf "expected 1 query span, got %d" (List.length qs)
+
+let test_workload_spans_well_formed () =
+  let tr = Trace.create () in
+  let e = engine () in
+  let specs =
+    List.map (fun n -> Wl.spec ~label:n (sql n)) [ "Q3"; "Q10"; "Q5" ]
+  in
+  let options = { Wl.default_options with Wl.max_concurrency = 2 } in
+  let r = Wl.run ~options ~trace:tr e specs in
+  Alcotest.(check int) "all queries completed" 3 (List.length r.Wl.results);
+  assert_well_formed tr;
+  Alcotest.(check int) "one lane per query" 3 (List.length (Trace.queries tr));
+  Alcotest.(check (list string)) "lanes keep the spec labels"
+    [ "Q3"; "Q10"; "Q5" ]
+    (List.map snd (Trace.queries tr));
+  (* each query's span timestamps are anchored at its admission time *)
+  List.iter
+    (fun (qr : Wl.query_result) ->
+       let tid =
+         fst (List.nth (Trace.queries tr) qr.Wl.index)
+       in
+       let begins =
+         List.filter_map
+           (fun (s : Trace.span) ->
+              if s.Trace.sp_tid = tid then Some s.Trace.sp_begin_ms else None)
+           (Trace.spans tr)
+       in
+       List.iter
+         (fun b ->
+            Alcotest.(check bool) "span begins after admission" true
+              (b >= qr.Wl.admit_ms -. 1e-9))
+         begins)
+    r.Wl.results;
+  (* queue waits landed in the wlm histogram *)
+  let m = Trace.metrics tr in
+  match List.assoc_opt "wlm.queue_ms" (Metrics.histograms m) with
+  | Some s -> Alcotest.(check int) "one queue sample per query" 3 s.Metrics.n
+  | None -> Alcotest.fail "wlm.queue_ms histogram missing"
+
+(* --- audit ledger vs the dispatcher event log --- *)
+
+let test_ledger_matches_events () =
+  let tr = Trace.create () in
+  let e = engine ~trace:tr () in
+  let r = Engine.run_sql e (sql "Q7") in
+  let count f = List.length (List.filter f r.Dispatcher.events) in
+  let ledger = Trace.ledger tr in
+  let lcount f = List.length (List.filter f ledger) in
+  Alcotest.(check int) "one Considered entry per Ev_considered"
+    (count (function Dispatcher.Ev_considered _ -> true | _ -> false))
+    (lcount (fun d ->
+       match d.Trace.d_kind with Trace.Considered _ -> true | _ -> false));
+  Alcotest.(check int) "one Switched entry per Ev_switched"
+    (count (function Dispatcher.Ev_switched _ -> true | _ -> false))
+    (lcount (fun d ->
+       match d.Trace.d_kind with Trace.Switched _ -> true | _ -> false));
+  Alcotest.(check int) "one Rejected entry per Ev_rejected"
+    (count (function Dispatcher.Ev_rejected _ -> true | _ -> false))
+    (lcount (fun d ->
+       match d.Trace.d_kind with Trace.Rejected _ -> true | _ -> false));
+  Alcotest.(check int) "one Realloc entry per Ev_realloc"
+    (count (function Dispatcher.Ev_realloc _ -> true | _ -> false))
+    (lcount (fun d ->
+       match d.Trace.d_kind with Trace.Realloc _ -> true | _ -> false));
+  (* the Eq. 1/Eq. 2 terms in the ledger are the ones from the events,
+     in order *)
+  let considered_events =
+    List.filter_map
+      (function
+        | Dispatcher.Ev_considered { t_improved; t_optimizer; t_opt_estimated; _ } ->
+          Some (t_improved, t_optimizer, t_opt_estimated)
+        | _ -> None)
+      r.Dispatcher.events
+  in
+  let considered_ledger =
+    List.filter_map
+      (fun d ->
+         match d.Trace.d_kind with
+         | Trace.Considered { t_improved; t_optimizer; t_opt_estimated; _ } ->
+           Some (t_improved, t_optimizer, t_opt_estimated)
+         | _ -> None)
+      ledger
+  in
+  Alcotest.(check (list (triple (float 1e-9) (float 1e-9) (float 1e-9))))
+    "ledger carries the exact Eq. 1/Eq. 2 terms" considered_events
+    considered_ledger;
+  (* every entry records estimated-vs-observed cardinalities coherently *)
+  List.iter
+    (fun d ->
+       Alcotest.(check bool) "decision point ordinal positive" true
+         (d.Trace.d_seq >= 1);
+       Alcotest.(check bool) "observed rows non-negative" true
+         (d.Trace.d_actual_rows >= 0);
+       Alcotest.(check (float 1e-6)) "estimation error is actual/est"
+         (float_of_int d.Trace.d_actual_rows
+          /. Float.max 1e-9 d.Trace.d_est_rows)
+         d.Trace.d_error)
+    ledger
+
+(* --- timestamped events --- *)
+
+let test_timed_events () =
+  let e = engine () in
+  let r = Engine.run_sql e (sql "Q5") in
+  Alcotest.(check int) "timed_events mirrors events"
+    (List.length r.Dispatcher.events)
+    (List.length r.Dispatcher.timed_events);
+  List.iter2
+    (fun ev (_, tev) ->
+       Alcotest.(check bool) "same event in the same position" true
+         (ev == tev))
+    r.Dispatcher.events r.Dispatcher.timed_events;
+  let rec monotone = function
+    | (t1, _) :: ((t2, _) :: _ as rest) ->
+      Alcotest.(check bool) "timestamps non-decreasing" true (t1 <= t2);
+      monotone rest
+    | _ -> ()
+  in
+  monotone r.Dispatcher.timed_events;
+  List.iter
+    (fun (t, _) ->
+       Alcotest.(check bool) "timestamps within the run" true
+         (0.0 <= t && t <= r.Dispatcher.elapsed_ms))
+    r.Dispatcher.timed_events
+
+(* --- zero overhead: tracing never touches the simulated clock --- *)
+
+let test_tracing_zero_overhead () =
+  let catalog = Tpcd.experiment_catalog ~sf:0.001 () in
+  let plain = Engine.create ~budget_pages:64 ~pool_pages:512 catalog in
+  let tr = Trace.create () in
+  let traced =
+    Engine.create ~budget_pages:64 ~pool_pages:512 ~trace:tr catalog
+  in
+  List.iter
+    (fun q ->
+       let off = Engine.run_sql plain (sql q) in
+       let on = Engine.run_sql traced (sql q) in
+       Alcotest.(check (float 0.0))
+         (q ^ ": elapsed identical") off.Dispatcher.elapsed_ms
+         on.Dispatcher.elapsed_ms;
+       Alcotest.(check bool) (q ^ ": rows identical") true
+         (off.Dispatcher.rows = on.Dispatcher.rows))
+    [ "Q3"; "Q7" ];
+  Alcotest.(check bool) "the traced runs actually recorded spans" true
+    (Trace.spans tr <> [])
+
+(* --- exporters --- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_chrome_export_shape () =
+  let tr = Trace.create () in
+  let e = engine ~trace:tr () in
+  ignore (Engine.run_sql e (sql "Q3"));
+  let json = Trace.to_chrome_json tr in
+  Alcotest.(check bool) "top-level object" true (json.[0] = '{');
+  List.iter
+    (fun frag ->
+       Alcotest.(check bool) ("contains " ^ frag) true (contains json frag))
+    [ "\"traceEvents\""; "\"ph\": \"X\""; "\"ph\": \"M\"";
+      "\"thread_name\""; "\"displayTimeUnit\""; "\"pid\": 1" ];
+  let summary = Trace.to_summary_json tr in
+  List.iter
+    (fun frag ->
+       Alcotest.(check bool) ("summary contains " ^ frag) true
+         (contains summary frag))
+    [ "\"queries\""; "\"spans\""; "\"metrics\""; "\"ledger\"";
+      "\"open_spans\": 0" ]
+
+(* --- explain-analyze renders one uniform stat block per verify mode --- *)
+
+let test_explain_analyze_uniform () =
+  let catalog = Tpcd.experiment_catalog ~sf:0.001 () in
+  let off = Engine.create ~budget_pages:64 ~pool_pages:512 catalog in
+  let sane =
+    Engine.create ~budget_pages:64 ~pool_pages:512
+      ~verify_plans:Mqr_analysis.Verifier.Sanitize catalog
+  in
+  let render e =
+    Fmt.str "%a" Dispatcher.pp_explain_analyze (Engine.run_sql e (sql "Q3"))
+  in
+  let strip_verification text =
+    String.split_on_char '\n' text
+    |> List.filter (fun l ->
+      not (String.length l >= 12 && String.sub l 0 12 = "verification"))
+    |> String.concat "\n"
+  in
+  let t_off = render off and t_sane = render sane in
+  (* both modes always render the full stat block... *)
+  List.iter
+    (fun frag ->
+       List.iter
+         (fun (name, text) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s block present under %s" frag name)
+              true (contains text frag))
+         [ ("off", t_off); ("sanitize", t_sane) ])
+    [ "collectors:"; "runtime filters:"; "buffer pool:"; "verification:" ];
+  (* ...and everything except the verification count is identical *)
+  Alcotest.(check string) "identical columns across verify modes"
+    (strip_verification t_off) (strip_verification t_sane)
+
+let suite =
+  [ Alcotest.test_case "metrics counters and gauges" `Quick
+      test_metrics_counters_and_gauges;
+    Alcotest.test_case "metrics log-scale histogram" `Quick
+      test_metrics_log_histogram;
+    Alcotest.test_case "span stack discipline" `Quick
+      test_span_stack_discipline;
+    Alcotest.test_case "single query spans" `Quick test_single_query_spans;
+    Alcotest.test_case "workload spans well-formed" `Quick
+      test_workload_spans_well_formed;
+    Alcotest.test_case "ledger matches events" `Quick
+      test_ledger_matches_events;
+    Alcotest.test_case "timed events stamped and monotone" `Quick
+      test_timed_events;
+    Alcotest.test_case "tracing has zero simulated overhead" `Quick
+      test_tracing_zero_overhead;
+    Alcotest.test_case "chrome and summary export shape" `Quick
+      test_chrome_export_shape;
+    Alcotest.test_case "explain analyze uniform across verify modes" `Quick
+      test_explain_analyze_uniform ]

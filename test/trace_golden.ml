@@ -1,0 +1,30 @@
+(* Golden-file driver: run one benchmark query on a seeded sf=0.001
+   catalog with the trace collector attached and print an export on
+   stdout.  The simulated clock is deterministic, so the output is
+   byte-stable and `dune promote` maintains the goldens.
+
+     trace_golden chrome Q3    -- Chrome trace-event JSON
+     trace_golden summary Q7   -- compact summary (spans, metrics, ledger) *)
+
+module Engine = Mqr_core.Engine
+module Queries = Mqr_tpcd.Queries
+module Workload = Mqr_tpcd.Workload
+module Trace = Mqr_obs.Trace
+
+let () =
+  if Array.length Sys.argv <> 3 then begin
+    prerr_endline "usage: trace_golden chrome|summary <query>";
+    exit 2
+  end;
+  let what = Sys.argv.(1) and name = Sys.argv.(2) in
+  let tr = Trace.create () in
+  let catalog = Workload.experiment_catalog ~sf:0.001 () in
+  let engine = Engine.create ~budget_pages:64 ~pool_pages:512 ~trace:tr catalog in
+  let sql = (Queries.find name).Queries.sql in
+  ignore (Engine.run_query engine ~label:name (Engine.bind_sql engine sql));
+  match what with
+  | "chrome" -> print_string (Trace.to_chrome_json tr)
+  | "summary" -> print_string (Trace.to_summary_json tr)
+  | _ ->
+    prerr_endline "usage: trace_golden chrome|summary <query>";
+    exit 2
