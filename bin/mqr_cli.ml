@@ -57,6 +57,14 @@ let rf_arg =
              the probe-side scans (sideways information passing)." in
   Arg.(value & flag & info [ "runtime-filters" ] ~doc)
 
+let parallel_arg =
+  let doc = "Enable intra-query parallelism: let the optimizer assign \
+             operators a degree of parallelism up to $(docv) and execute \
+             their workers on a pool of that many OCaml domains.  Results \
+             and simulated time are identical at every setting; only \
+             wall-clock time changes." in
+  Arg.(value & opt int 1 & info [ "parallel" ] ~docv:"N" ~doc)
+
 (* user-facing errors (bad SQL, missing tables/files) print cleanly
    instead of dying with a backtrace *)
 let friendly action =
@@ -79,11 +87,11 @@ let resolve_sql q =
   | exception Invalid_argument _ -> q
 
 let make_engine ?(runtime_filters = false) ?(verify_plans = Verifier.Off)
-    ?trace ~sf ~skew ~budget ~pristine () =
+    ?trace ?(parallel = 1) ~sf ~skew ~budget ~pristine () =
   let degradations = if pristine then [] else Workload.paper_degradations in
   let catalog = Workload.experiment_catalog ~sf ~skew_z:skew ~degradations () in
   Engine.create ~budget_pages:budget ~pool_pages:(8 * budget) ~runtime_filters
-    ~verify_plans ?trace catalog
+    ~verify_plans ?trace ~parallel catalog
 
 let write_file file contents =
   Out_channel.with_open_text file (fun oc ->
@@ -117,12 +125,12 @@ let trace_out_arg =
 
 let run_cmd =
   let action query sf skew budget mode verbose pristine runtime_filters
-      verify sanitize trace_out =
+      verify sanitize trace_out parallel =
     friendly @@ fun () ->
     let tr = Option.map (fun _ -> Trace.create ()) trace_out in
     let engine =
       make_engine ~verify_plans:(verify_mode ~verify ~sanitize)
-        ~runtime_filters ?trace:tr ~sf ~skew ~budget ~pristine ()
+        ~runtime_filters ?trace:tr ~parallel ~sf ~skew ~budget ~pristine ()
     in
     let sql = resolve_sql query in
     Fmt.pr "running [%s]: %s@.@." (Dispatcher.mode_to_string mode) sql;
@@ -144,6 +152,11 @@ let run_cmd =
     if report.Dispatcher.verifications > 0 then
       Fmt.pr "plan verified %d time(s), %d filter pages held at completion@."
         report.Dispatcher.verifications report.Dispatcher.filter_pages_held;
+    if report.Dispatcher.worker_pages_peak > 0 then
+      Fmt.pr "parallel workers: %d pages peak, %d held at completion@."
+        report.Dispatcher.worker_pages_peak
+        report.Dispatcher.worker_pages_held;
+    Engine.shutdown engine;
     match tr, trace_out with
     | Some tr, Some file -> export_chrome tr file
     | _ -> ()
@@ -152,7 +165,7 @@ let run_cmd =
   Cmd.v info
     Term.(const action $ query_arg $ sf_arg $ skew_arg $ budget_arg
           $ mode_arg $ verbose_arg $ pristine_arg $ rf_arg $ verify_arg
-          $ sanitize_arg $ trace_out_arg)
+          $ sanitize_arg $ trace_out_arg $ parallel_arg)
 
 let explain_cmd =
   let explain_verify_arg =
@@ -397,10 +410,10 @@ let workload_cmd =
     Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc)
   in
   let action queries sf skew budget mode pristine concurrency queue fixed
-      no_feedback jitter seed trace_out =
+      no_feedback jitter seed trace_out parallel =
     friendly @@ fun () ->
     let tr = Option.map (fun _ -> Trace.create ()) trace_out in
-    let engine = make_engine ~sf ~skew ~budget ~pristine () in
+    let engine = make_engine ~parallel ~sf ~skew ~budget ~pristine () in
     let specs =
       List.map
         (fun q ->
@@ -423,6 +436,7 @@ let workload_cmd =
     in
     let report = Wl.run ~options ?trace:tr engine specs in
     Fmt.pr "%a@." Wl.pp report;
+    Engine.shutdown engine;
     match tr, trace_out with
     | Some tr, Some file -> export_chrome tr file
     | _ -> ()
@@ -436,7 +450,8 @@ let workload_cmd =
   Cmd.v info
     Term.(const action $ queries_arg $ sf_arg $ skew_arg $ budget_arg
           $ mode_arg $ pristine_arg $ concurrency_arg $ queue_arg $ fixed_arg
-          $ no_feedback_arg $ jitter_arg $ seed_arg $ trace_out_arg)
+          $ no_feedback_arg $ jitter_arg $ seed_arg $ trace_out_arg
+          $ parallel_arg)
 
 let trace_cmd =
   let queries_arg =

@@ -674,9 +674,69 @@ let resource_run ctx plan =
 let resource_pass = { pass_name = resource_pass_name; run = resource_run }
 
 (* ------------------------------------------------------------------ *)
+(* Pass 5: parallel-shape checks.  A plan's [dop] annotations are what
+   the dispatcher partitions data by and what the cost model charged
+   exchanges for; a degree the executor cannot honour would silently run
+   serially while the estimates assumed otherwise. *)
+
+let parallel_pass_name = "parallel"
+
+(* Operators the executor has an exchange implementation for. *)
+let exchangeable (p : Plan.t) =
+  match p.Plan.node with
+  | Plan.Seq_scan _ | Plan.Sort _ -> true
+  | Plan.Hash_join { keys; _ } -> keys <> []
+  | Plan.Aggregate { group_by; pre_sorted; _ } ->
+    (not pre_sorted) && group_by <> []
+  | _ -> false
+
+let parallel_run _ctx plan =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  iter_with_ancestors
+    (fun ~ancestors (p : Plan.t) ->
+       let node_id = p.Plan.id in
+       let path = path_of ~ancestors p in
+       if p.Plan.dop < 1 then
+         add
+           (Diagnostic.error ~pass:parallel_pass_name ~code:"PAR-DOP"
+              ~hint:"the degree of parallelism is at least 1 (serial)"
+              ~node_id ~path
+              (Fmt.str "degree of parallelism %d < 1" p.Plan.dop));
+       if p.Plan.dop > 1 && not (exchangeable p) then
+         add
+           (Diagnostic.error ~pass:parallel_pass_name ~code:"PAR-OP"
+              ~hint:"only striped scans, keyed hash joins, grouped hash \
+                     aggregation and sorts have exchange operators; \
+                     everything else must stay serial"
+              ~node_id ~path
+              (Fmt.str "%s cannot run with dop=%d" (Plan.op_name p)
+                 p.Plan.dop));
+       (* Each worker receives an even share of the memory grant; a share
+          too small to operate forces per-worker spill passes the parallel
+          cost estimate never priced. *)
+       if p.Plan.dop > 1 && Plan.is_memory_consumer p && p.Plan.mem > 0
+       && p.Plan.mem / p.Plan.dop < 2
+       then
+         add
+           (Diagnostic.warning ~pass:parallel_pass_name ~code:"PAR-MEM"
+              ~hint:"grant at least two pages per worker or lower the \
+                     degree: sub-minimal slices spill on every worker"
+              ~node_id ~path
+              (Fmt.str
+                 "granted %d pages split %d ways leaves workers under two \
+                  pages each"
+                 p.Plan.mem p.Plan.dop)))
+    plan;
+  List.rev !diags
+
+let parallel_pass = { pass_name = parallel_pass_name; run = parallel_run }
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
 
-let all_passes = [ schema_pass; annotation_pass; scia_pass; resource_pass ]
+let all_passes =
+  [ schema_pass; annotation_pass; scia_pass; resource_pass; parallel_pass ]
 
 let verify ?(passes = all_passes) ctx plan =
   List.stable_sort Diagnostic.compare

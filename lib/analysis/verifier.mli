@@ -11,7 +11,7 @@
     mode) again at every decision point and after every mid-query plan
     switch.
 
-    Four passes ship:
+    Five passes ship:
 
     - {!schema_pass} — infers each operator's output schema bottom-up
       from the catalog (and the temp-table store for re-planned
@@ -29,7 +29,11 @@
     - {!resource_pass} — memory assignments respect min/max demands and
       the broker budget; runtime-filter annotations are installable and
       retire inside their unit, so [filter_pages_held] provably returns
-      to 0 ([MEM-*], [RF-*]). *)
+      to 0 ([MEM-*], [RF-*]);
+    - {!parallel_pass} — degree-of-parallelism annotations are sane:
+      every [dop] is at least 1, degrees above 1 only on operators with
+      an exchange implementation, per-worker memory shares workable
+      ([PAR-*]). *)
 
 open Mqr_storage
 
@@ -66,7 +70,15 @@ val annotation_pass : pass
 val scia_pass : pass
 val resource_pass : pass
 
-(** The four passes above, in that order. *)
+(** Parallel-shape checks over the plan's [dop] annotations: every degree
+    is at least 1 ([PAR-DOP]), a degree above 1 only appears on operators
+    the executor has an exchange implementation for — striped scans,
+    keyed hash joins, grouped hash aggregation, sorts ([PAR-OP]) — and
+    the memory grant split across the workers leaves each a workable
+    share ([PAR-MEM]). *)
+val parallel_pass : pass
+
+(** The five passes above, in that order. *)
 val all_passes : pass list
 
 (** Run the passes (default {!all_passes}) and return every finding,

@@ -17,6 +17,8 @@ module Merge_join = Mqr_exec.Merge_join
 module Aggregate = Mqr_exec.Aggregate
 module Collector = Mqr_exec.Collector
 module Runtime_filter = Mqr_exec.Runtime_filter
+module Parallel = Mqr_exec.Parallel
+module Domain_pool = Mqr_exec.Domain_pool
 module Verifier = Mqr_analysis.Verifier
 module Diagnostic = Mqr_analysis.Diagnostic
 module Trace = Mqr_obs.Trace
@@ -67,6 +69,11 @@ type config = {
          audit-ledger entries and metrics into the scope's parent trace;
          tracing is pure observation and never charges the simulated
          clock *)
+  domain_pool : Mqr_exec.Domain_pool.t option;
+      (* real OCaml domains the per-worker closures of parallel operators
+         are submitted to.  The pool only changes wall-clock time: result
+         rows and simulated charges are functions of each operator's plan
+         [dop], never of the pool size (None = run workers inline) *)
 }
 
 type event =
@@ -86,6 +93,14 @@ type event =
     }
   | Ev_rejected of { t_new_total : float; t_improved : float }
   | Ev_sampled of Sampling.probe
+  | Ev_parallel of {
+      op : string;           (* operator run with an exchange *)
+      dop : int;             (* plan degree of parallelism *)
+      want_pages : int;      (* pool-page slices requested for workers *)
+      got_pages : int;       (* slices actually leased (shortfall visible) *)
+      max_worker_ms : float; (* slowest worker's simulated time (charged) *)
+      avg_worker_ms : float; (* mean worker simulated time (skew signal) *)
+    }
   | Ev_filter of {
       source : string;      (* publishing join *)
       target_col : string;  (* probe-side column being pruned *)
@@ -129,6 +144,11 @@ type report = {
   filter_pages_held : int;
       (* bloom-bitmap pages still held at completion; 0 is the lifetime
          invariant the sanitizer asserts *)
+  worker_pages_peak : int;
+      (* most pool-page slices leased to parallel workers at once *)
+  worker_pages_held : int;
+      (* worker slices still held at completion; 0 is the lease invariant
+         the sanitizer asserts (same discipline as filter pages) *)
   collector_ms : float;
       (* simulated CPU spent inside statistics collectors *)
   verifications : int;
@@ -174,6 +194,12 @@ type state = {
   (* a retired filter's pass rate deviated badly from the estimate: force
      the next decision point past the Eq. 2 close-enough shortcut *)
   mutable filter_surprise : bool;
+  (* pool-page slices currently leased to parallel workers / high-water *)
+  mutable worker_pages : int;
+  mutable worker_pages_peak : int;
+  (* a parallel operator's workers finished badly out of balance: force
+     the next decision point so re-costing can re-pick degrees *)
+  mutable skew_surprise : bool;
   (* simulated milliseconds spent inside statistics collectors *)
   mutable collector_ms : float;
   (* plan-verification runs performed *)
@@ -261,6 +287,20 @@ let trace_event st scope ~ts ev =
           ("observed_sel", Trace.Float p.Sampling.observed_selectivity);
           ("estimated_sel", Trace.Float p.Sampling.estimated_selectivity) ]
       ~ts_ms:ts ()
+  | Ev_parallel { op; dop; want_pages; got_pages; max_worker_ms; avg_worker_ms }
+    ->
+    Metrics.incr m "parallel.ops";
+    Metrics.observe m "parallel.max_worker_ms" max_worker_ms;
+    if avg_worker_ms > 0.0 then
+      Metrics.observe m "parallel.skew" (max_worker_ms /. avg_worker_ms);
+    Trace.instant scope ~cat:"parallel" ~name:("exchange:" ^ op)
+      ~args:
+        [ ("dop", Trace.Int dop);
+          ("want_pages", Trace.Int want_pages);
+          ("got_pages", Trace.Int got_pages);
+          ("max_worker_ms", Trace.Float max_worker_ms);
+          ("avg_worker_ms", Trace.Float avg_worker_ms) ]
+      ~ts_ms:ts ()
   | Ev_filter { source; target_col; est_sel; observed_sel; probed; dropped;
                 pages } ->
     Metrics.incr m "filter.built";
@@ -342,9 +382,9 @@ let verify_plan st ~what plan =
     ignore (Verifier.check_exn ~what (verifier_context st) plan)
   end
 
-(* The sanitizer's dynamic half of the runtime-filter lifetime pass:
-   leased bitmap pages must be back to zero whenever execution is
-   observable from outside a unit. *)
+(* The sanitizer's dynamic half of the transient-lease lifetime passes:
+   bitmap pages and worker pool slices must both be back to zero whenever
+   execution is observable from outside a unit. *)
 let assert_filters_retired st ~what =
   if st.filter_pages <> 0 then
     raise
@@ -357,7 +397,20 @@ let assert_filters_retired st ~what =
                  ~path:[ Plan.op_name st.current ]
                  (Printf.sprintf
                     "%d bloom-bitmap pages still leased at a decision point"
-                    st.filter_pages) ] })
+                    st.filter_pages) ] });
+  if st.worker_pages <> 0 then
+    raise
+      (Verifier.Rejected
+         { what;
+           diags =
+             [ Diagnostic.error ~pass:"parallel" ~code:"PAR-LIFETIME"
+                 ~hint:"worker pool slices must release within their operator"
+                 ~node_id:st.current.Plan.id
+                 ~path:[ Plan.op_name st.current ]
+                 (Printf.sprintf
+                    "%d worker pool-slice pages still leased at a decision \
+                     point"
+                    st.worker_pages) ] })
 
 (* ------------------------------------------------------------------ *)
 (* Executing plan nodes.                                               *)
@@ -369,56 +422,151 @@ let bare_column col =
 
 let heap_of st table = (Catalog.find_exn st.cfg.catalog table).Catalog.heap
 
+(* --- transient page leases (runtime filters, parallel workers) ----- *)
+
+(* Bloom bitmaps and parallel workers' buffer-pool slices are both
+   transient working memory: leased from the broker on top of the
+   remaining plan's demand while a unit runs, always back to zero at
+   decision points and at query completion.  The broker sees one combined
+   figure (filter pages + worker pages) so concurrent queries are charged
+   for everything a unit really holds; without a broker each kind has its
+   own cap ([no_broker_cap], checked against that kind's own holdings). *)
+let acquire_transient_pages st ~no_broker_cap ~kind_held ~held want =
+  if want <= 0 then 0
+  else
+    match st.cfg.broker with
+    | None ->
+      let cap = max 1 no_broker_cap in
+      min want (max 0 (cap - kind_held ()))
+    | Some lease ->
+      let min_d, max_d = Memory_manager.plan_demand st.current in
+      let tentative = held () + want in
+      let budget =
+        lease ~min_pages:(min_d + tentative) ~max_pages:(max_d + tentative)
+      in
+      (* pages the lease grants beyond the plan's hard minimum are
+         available to transient consumers *)
+      let covered = max 0 (budget - min_d) in
+      let shortfall = max 0 (tentative - covered) in
+      let got = max 0 (want - shortfall) in
+      if got < want then
+        (* shrink the lease back to what we actually hold *)
+        ignore
+          (lease ~min_pages:(min_d + held () + got)
+             ~max_pages:(max_d + held () + got));
+      got
+
+let release_transient_pages st ~held =
+  match st.cfg.broker with
+  | None -> ()
+  | Some lease ->
+    let min_d, max_d = Memory_manager.plan_demand st.current in
+    ignore
+      (lease ~min_pages:(min_d + held ()) ~max_pages:(max_d + held ()))
+
 (* --- runtime-filter lifecycle ------------------------------------- *)
 
-(* Bloom bitmap pages are working memory: leased from the broker on top of
-   the remaining plan's demand when one is configured, else capped at a
-   quarter of the fixed per-query budget.  Held only while the publishing
-   join's probe side runs, so they are always back to zero at decision
-   points and at query completion. *)
+(* The combined transient figure the broker negotiates against. *)
+let pages_in_flight st = st.filter_pages + st.worker_pages
+
 let acquire_filter_pages st want =
-  if want <= 0 then 0
-  else begin
-    let got =
-      match st.cfg.broker with
-      | None ->
-        let cap = max 1 (st.cfg.budget_pages / 4) in
-        min want (max 0 (cap - st.filter_pages))
-      | Some lease ->
-        let min_d, max_d = Memory_manager.plan_demand st.current in
-        let tentative = st.filter_pages + want in
-        let budget =
-          lease ~min_pages:(min_d + tentative) ~max_pages:(max_d + tentative)
-        in
-        (* pages the lease grants beyond the plan's hard minimum are
-           available to filters *)
-        let covered = max 0 (budget - min_d) in
-        let shortfall = max 0 (tentative - covered) in
-        let got = max 0 (want - shortfall) in
-        if got < want then
-          (* shrink the lease back to what we actually hold *)
-          ignore
-            (lease ~min_pages:(min_d + st.filter_pages + got)
-               ~max_pages:(max_d + st.filter_pages + got));
-        got
-    in
-    st.filter_pages <- st.filter_pages + got;
-    if st.filter_pages > st.filter_pages_peak then
-      st.filter_pages_peak <- st.filter_pages;
-    got
-  end
+  let got =
+    acquire_transient_pages st
+      ~no_broker_cap:(st.cfg.budget_pages / 4)
+      ~kind_held:(fun () -> st.filter_pages)
+      ~held:(fun () -> pages_in_flight st)
+      want
+  in
+  st.filter_pages <- st.filter_pages + got;
+  if st.filter_pages > st.filter_pages_peak then
+    st.filter_pages_peak <- st.filter_pages;
+  got
 
 let release_filter_pages st n =
   if n > 0 then begin
     st.filter_pages <- max 0 (st.filter_pages - n);
-    match st.cfg.broker with
-    | None -> ()
-    | Some lease ->
-      let min_d, max_d = Memory_manager.plan_demand st.current in
-      ignore
-        (lease ~min_pages:(min_d + st.filter_pages)
-           ~max_pages:(max_d + st.filter_pages))
+    release_transient_pages st ~held:(fun () -> pages_in_flight st)
   end
+
+(* --- parallel-worker lifecycle ------------------------------------ *)
+
+(* Each worker of a parallel operator runs against its own buffer-pool
+   slice.  The slices are transient working memory exactly like bloom
+   bitmaps: leased for the duration of one operator, visible to the
+   broker, and provably back to zero at decision points.  Without a
+   broker the slices merely subdivide the query's own pool, so the cap is
+   the pool itself. *)
+let acquire_worker_pages st want =
+  let got =
+    acquire_transient_pages st ~no_broker_cap:st.cfg.pool_pages
+      ~kind_held:(fun () -> st.worker_pages)
+      ~held:(fun () -> pages_in_flight st)
+      want
+  in
+  st.worker_pages <- st.worker_pages + got;
+  if st.worker_pages > st.worker_pages_peak then
+    st.worker_pages_peak <- st.worker_pages;
+  got
+
+let release_worker_pages st n =
+  if n > 0 then begin
+    st.worker_pages <- max 0 (st.worker_pages - n);
+    release_transient_pages st ~held:(fun () -> pages_in_flight st)
+  end
+
+(* Workers finishing more than this factor above the mean signal a skewed
+   partitioning: the next decision point is forced past Eq. 2 so
+   re-costing (with the now-better statistics) can re-pick degrees. *)
+let skew_factor = 2.0
+
+(* Run one parallel operator end to end: lease the workers' pool slices
+   (clamped to what the broker grants — over-commit surfaces as a smaller
+   slice, not an abort), stamp each worker's span onto its own trace
+   lane, emit the exchange event, and flag skew.  [f] receives the
+   configured exchange, the per-worker slice, and the completion
+   callback to pass through to [Parallel]. *)
+let with_workers st (p : Plan.t) ~op f =
+  let dop = p.Plan.dop in
+  let par = Parallel.make ?pool:st.cfg.domain_pool ~degree:dop () in
+  let want = dop * max 1 (st.cfg.pool_pages / dop) in
+  let got = acquire_worker_pages st want in
+  let slice = max 1 (got / dop) in
+  let sims = Array.make dop 0.0 in
+  let walls = Array.make dop 0.0 in
+  let t_start = now st in
+  let on_worker i ~sim_ms ~wall_ms =
+    sims.(i) <- sim_ms;
+    walls.(i) <- wall_ms
+  in
+  Fun.protect
+    ~finally:(fun () -> release_worker_pages st got)
+    (fun () ->
+       let result = f par ~slice_pages:slice ~on_worker in
+       (match st.cfg.trace with
+        | None -> ()
+        | Some scope ->
+          Array.iteri
+            (fun i sim_ms ->
+               let lane = Trace.worker_lane scope i in
+               let tok =
+                 Trace.open_span lane ~cat:"worker" ~name:op ~ts_ms:t_start ()
+               in
+               Trace.close_span lane ~ts_ms:(t_start +. sim_ms) tok
+                 ~args:
+                   [ ("sim_ms", Trace.Float sim_ms);
+                     ("wall_ms", Trace.Float walls.(i)) ])
+            sims);
+       let max_ms = Array.fold_left Float.max 0.0 sims in
+       let avg_ms =
+         Array.fold_left ( +. ) 0.0 sims /. float_of_int (max 1 dop)
+       in
+       if avg_ms > 0.0 && max_ms /. avg_ms > skew_factor then
+         st.skew_surprise <- true;
+       emit st
+         (Ev_parallel
+            { op; dop; want_pages = want; got_pages = got;
+              max_worker_ms = max_ms; avg_worker_ms = avg_ms });
+       result)
 
 (* Build one filter per annotation from the finished build/left side and
    push it onto the active stack.  An annotation whose build column is
@@ -480,9 +628,30 @@ let retire_filters st installed =
        release_filter_pages st pages)
     installed
 
+(* A filter that has seen a fair sample of probes and passed nearly all of
+   them prunes nothing: testing further rows is pure overhead.  Such
+   filters are retired early — dropped from the active stack so scans stop
+   consulting them, while the publishing join still releases their pages
+   and reports them at the usual retire point. *)
+let rf_useless_sel = 0.9
+let rf_useless_min_probed = 256
+
+let drop_useless_filters st =
+  match st.active_filters with
+  | [] -> ()
+  | filters ->
+    st.active_filters <-
+      List.filter
+        (fun flt ->
+           not
+             (Runtime_filter.probed flt >= rf_useless_min_probed
+              && Runtime_filter.observed_sel flt >= rf_useless_sel))
+        filters
+
 (* Test rows flowing out of a leaf against every active filter whose
    target column the schema carries. *)
 let apply_runtime_filters st schema rows =
+  drop_useless_filters st;
   match st.active_filters with
   | [] -> rows
   | filters ->
@@ -525,7 +694,14 @@ and exec_node_inner st (p : Plan.t) : Tuple.t array * Schema.t =
   let ctx = st.ctx in
   match p.Plan.node with
   | Plan.Seq_scan { table; alias = _; filter } ->
-    let rows = Scan.seq_scan ctx (heap_of st table) in
+    let heap = heap_of st table in
+    let rows =
+      if p.Plan.dop > 1 then
+        with_workers st p ~op:(Plan.op_name p)
+          (fun par ~slice_pages ~on_worker ->
+             Parallel.scan ctx par ~slice_pages ~on_worker heap)
+      else Scan.seq_scan ctx heap
+    in
     let rows =
       match filter with
       | None -> rows
@@ -613,11 +789,18 @@ and exec_node_inner st (p : Plan.t) : Tuple.t array * Schema.t =
     let probe_rows, probe_schema = exec_node st probe in
     retire_filters st installed;
     let mem_pages = if p.Plan.mem > 0 then p.Plan.mem else p.Plan.max_mem in
-    let r =
-      Join.hash_join ctx ~mem_pages ~build:(build_rows, build_schema)
-        ~probe:(probe_rows, probe_schema) ~keys ?extra ()
-    in
-    (r.Join.rows, r.Join.schema)
+    if p.Plan.dop > 1 && keys <> [] then
+      with_workers st p ~op:(Plan.op_name p)
+        (fun par ~slice_pages ~on_worker ->
+           Parallel.hash_join ctx par ~slice_pages ~on_worker ~mem_pages
+             ~build:(build_rows, build_schema)
+             ~probe:(probe_rows, probe_schema) ~keys ?extra ())
+    else
+      let r =
+        Join.hash_join ctx ~mem_pages ~build:(build_rows, build_schema)
+          ~probe:(probe_rows, probe_schema) ~keys ?extra ()
+      in
+      (r.Join.rows, r.Join.schema)
   | Plan.Index_nl_join
       { outer; table; alias; outer_col = oc; inner_col; inner_filter; extra } ->
     let outer_rows, outer_schema = exec_node st outer in
@@ -672,16 +855,29 @@ and exec_node_inner st (p : Plan.t) : Tuple.t array * Schema.t =
     end
     else begin
       let mem_pages = if p.Plan.mem > 0 then p.Plan.mem else p.Plan.max_mem in
-      let r =
-        Aggregate.hash_aggregate ctx ~mem_pages schema ~group_by ~aggs rows
-      in
-      (r.Aggregate.rows, r.Aggregate.schema)
+      if p.Plan.dop > 1 && group_by <> [] then
+        with_workers st p ~op:(Plan.op_name p)
+          (fun par ~slice_pages ~on_worker ->
+             Parallel.aggregate ctx par ~slice_pages ~on_worker ~mem_pages
+               schema ~group_by ~aggs rows)
+      else
+        let r =
+          Aggregate.hash_aggregate ctx ~mem_pages schema ~group_by ~aggs rows
+        in
+        (r.Aggregate.rows, r.Aggregate.schema)
     end
   | Plan.Sort { input; keys } ->
     let rows, schema = exec_node st input in
     let mem_pages = if p.Plan.mem > 0 then p.Plan.mem else p.Plan.max_mem in
-    let r = Sort_op.sort ctx ~mem_pages schema ~keys rows in
-    (r.Sort_op.rows, schema)
+    if p.Plan.dop > 1 then
+      ( with_workers st p ~op:(Plan.op_name p)
+          (fun par ~slice_pages ~on_worker ->
+             Parallel.sort ctx par ~slice_pages ~on_worker ~mem_pages schema
+               ~keys rows),
+        schema )
+    else
+      let r = Sort_op.sort ctx ~mem_pages schema ~keys rows in
+      (r.Sort_op.rows, schema)
   | Plan.Filter { input; pred } ->
     let rows, schema = exec_node st input in
     (Rows_ops.filter ctx schema pred rows, schema)
@@ -858,6 +1054,7 @@ let allocate_memory st =
 let reallocate st =
   let grants = allocate_memory st in
   st.current <- Optimizer.recost ~planning_mem:st.cfg.opt_options.Optimizer.planning_mem_pages
+      ~max_dop:st.cfg.opt_options.Optimizer.max_dop
       ~model:st.cfg.model ~env:st.env st.current;
   emit st (Ev_realloc { grants })
 
@@ -925,7 +1122,9 @@ let try_replan ?(force = false) st =
            Scia.insert ~mu:st.cfg.params.Reopt_policy.mu ~env:env' new_plan
          in
          let new_plan =
-           Optimizer.recost ~planning_mem:st.cfg.opt_options.Optimizer.planning_mem_pages ~model:st.cfg.model ~env:env' scia.Scia.plan
+           Optimizer.recost ~planning_mem:st.cfg.opt_options.Optimizer.planning_mem_pages
+             ~max_dop:st.cfg.opt_options.Optimizer.max_dop
+             ~model:st.cfg.model ~env:env' scia.Scia.plan
          in
          st.env <- env';
          st.current <- new_plan;
@@ -933,6 +1132,7 @@ let try_replan ?(force = false) st =
          ignore (allocate_memory st);
          st.current <-
            Optimizer.recost ~planning_mem:st.cfg.opt_options.Optimizer.planning_mem_pages
+      ~max_dop:st.cfg.opt_options.Optimizer.max_dop
       ~model:st.cfg.model ~env:st.env st.current;
          st.switches <- st.switches + 1;
          emit st (Ev_switched { t_new_total; t_improved; materialize_ms });
@@ -942,8 +1142,9 @@ let try_replan ?(force = false) st =
        else emit st (Ev_rejected { t_new_total; t_improved }))
 
 let decision_point st =
-  let force = st.filter_surprise in
+  let force = st.filter_surprise || st.skew_surprise in
   st.filter_surprise <- false;
+  st.skew_surprise <- false;
   st.last_force <- force;
   (match st.cfg.trace with
    | Some scope ->
@@ -952,6 +1153,7 @@ let decision_point st =
    | None -> ());
   (* improved estimates for the remainder *)
   st.current <- Optimizer.recost ~planning_mem:st.cfg.opt_options.Optimizer.planning_mem_pages
+      ~max_dop:st.cfg.opt_options.Optimizer.max_dop
       ~model:st.cfg.model ~env:st.env st.current;
   (match st.cfg.mode with
    | Off -> ()
@@ -1025,6 +1227,7 @@ let start ?prepared cfg query =
          in
          (Optimizer.recost
             ~planning_mem:cfg.opt_options.Optimizer.planning_mem_pages
+            ~max_dop:cfg.opt_options.Optimizer.max_dop
             ~model:cfg.model ~env scia.Scia.plan,
           List.length scia.Scia.kept))
   in
@@ -1055,6 +1258,9 @@ let start ?prepared cfg query =
       filter_pages_peak = 0;
       filter_obs = [];
       filter_surprise = false;
+      worker_pages = 0;
+      worker_pages_peak = 0;
+      skew_surprise = false;
       collector_ms = 0.0;
       verifications = 0;
       filter_probe_ms = 0.0;
@@ -1066,7 +1272,7 @@ let start ?prepared cfg query =
   ignore (allocate_memory st);
   let plan0 =
     Optimizer.recost ~planning_mem:cfg.opt_options.Optimizer.planning_mem_pages
-      ~model:cfg.model ~env plan0
+      ~max_dop:cfg.opt_options.Optimizer.max_dop ~model:cfg.model ~env plan0
   in
   st.current <- plan0;
   record_annotations st plan0;
@@ -1089,6 +1295,10 @@ let finished r = Option.is_some r.result
 (* Bloom-bitmap pages currently leased; zero whenever a unit is not
    mid-execution (filters live strictly inside one unit). *)
 let filter_pages_held r = r.st.filter_pages
+
+(* Worker pool-slice pages currently leased; zero outside a parallel
+   operator's execution (same lifetime discipline as filter pages). *)
+let worker_pages_held r = r.st.worker_pages
 
 let run_elapsed_ms r = Sim_clock.elapsed_ms r.st.ctx.Exec_ctx.clock
 
@@ -1128,7 +1338,8 @@ let step r =
                total_ms = 0.0 };
            min_mem = 0;
            max_mem = 0;
-           mem = 0 }
+           mem = 0;
+           dop = 1 }
        in
        st.current <-
          replace_node st.current ~target_id:j.Plan.id ~replacement:leaf;
@@ -1199,6 +1410,8 @@ let step r =
            filters = List.rev st.filter_obs;
            filter_pages_peak = st.filter_pages_peak;
            filter_pages_held = st.filter_pages;
+           worker_pages_peak = st.worker_pages_peak;
+           worker_pages_held = st.worker_pages;
            collector_ms = st.collector_ms;
            verifications = st.verifications }
        in
@@ -1262,6 +1475,11 @@ let pp_explain_analyze fmt (report : report) =
     (fun (col, est, obs) ->
        Fmt.pf fmt "  filter on %s: sel est=%.3f observed=%.3f@." col est obs)
     report.filters;
+  (* only parallel runs get a worker line, so serial explain-analyze
+     output stays byte-identical to earlier releases *)
+  if report.worker_pages_peak > 0 then
+    Fmt.pf fmt "parallel workers: %d pages peak, %d held at completion@."
+      report.worker_pages_peak report.worker_pages_held;
   let accesses = report.pool_hits + report.pool_misses in
   Fmt.pf fmt "buffer pool: %d hits / %d misses (%.1f%% hit rate)@."
     report.pool_hits report.pool_misses
@@ -1292,6 +1510,11 @@ let pp_event fmt = function
     Fmt.pf fmt "new plan rejected: T_new=%.1fms >= T_improved=%.1fms"
       t_new_total t_improved
   | Ev_sampled probe -> Sampling.pp_probe fmt probe
+  | Ev_parallel { op; dop; want_pages; got_pages; max_worker_ms; avg_worker_ms }
+    ->
+    Fmt.pf fmt
+      "parallel %s: dop=%d slices=%d/%d pages, workers max=%.1fms avg=%.1fms"
+      op dop got_pages want_pages max_worker_ms avg_worker_ms
   | Ev_filter
       { source; target_col; est_sel; observed_sel; probed; dropped; pages } ->
     Fmt.pf fmt

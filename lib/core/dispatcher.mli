@@ -70,6 +70,12 @@ type config = {
           trace (see {!Mqr_obs.Trace}).  Tracing is pure observation: it
           never charges the simulated clock, so a traced run's elapsed
           time and result rows are identical to an untraced one *)
+  domain_pool : Mqr_exec.Domain_pool.t option;
+      (** real OCaml domains parallel operators submit their per-worker
+          closures to.  The pool only affects wall-clock time: result rows
+          and simulated charges depend on each operator's plan [dop]
+          annotation, never on the pool size ([None] runs workers
+          inline) *)
 }
 
 type event =
@@ -89,6 +95,15 @@ type event =
     }
   | Ev_rejected of { t_new_total : float; t_improved : float }
   | Ev_sampled of Sampling.probe
+  | Ev_parallel of {
+      op : string;           (** operator executed with an exchange *)
+      dop : int;             (** plan degree of parallelism *)
+      want_pages : int;      (** pool-page slices requested for workers *)
+      got_pages : int;       (** slices actually leased; a shortfall under
+                                 a broker shows over-commit being clamped *)
+      max_worker_ms : float; (** slowest worker (what the clock charged) *)
+      avg_worker_ms : float; (** mean worker time — max/avg is the skew *)
+    }  (** a parallel operator finished; emitted once per exchange *)
   | Ev_filter of {
       source : string;      (** publishing join *)
       target_col : string;  (** probe-side column pruned *)
@@ -136,6 +151,13 @@ type report = {
       (** bloom-bitmap pages still leased at completion — always 0 (the
           lifetime invariant the sanitizer asserts; exposed so callers
           need not reach into dispatcher internals) *)
+  worker_pages_peak : int;
+      (** most buffer-pool pages leased to parallel workers at once; 0 on
+          a fully serial run *)
+  worker_pages_held : int;
+      (** worker pool-slice pages still leased at completion — always 0
+          (same lease discipline as filter pages, asserted by the
+          sanitizer as [PAR-LIFETIME]) *)
   collector_ms : float;
       (** simulated CPU spent inside statistics collectors — what the
           paper's mu budget bounds *)
@@ -178,6 +200,12 @@ val run_elapsed_ms : run -> float
     plan switch, and at completion (leased pages always return to the
     broker). *)
 val filter_pages_held : run -> int
+
+(** Buffer-pool pages currently leased to parallel workers.  Worker slices
+    live strictly inside one operator, so this is 0 whenever the run is
+    observable from outside a [step] — the parallel analogue of
+    {!filter_pages_held}. *)
+val worker_pages_held : run -> int
 
 (** Re-negotiate the run's memory lease against its broker and re-allocate
     over the remaining plan — lets the workload manager re-grant pages

@@ -8,6 +8,7 @@ module Plan = Mqr_opt.Plan
 module Memory_manager = Mqr_memman.Memory_manager
 module Verifier = Mqr_analysis.Verifier
 module Trace = Mqr_obs.Trace
+module Domain_pool = Mqr_exec.Domain_pool
 
 type t = {
   catalog : Catalog.t;
@@ -20,27 +21,40 @@ type t = {
   plan_cache : Plan_cache.t option;
   verify : Verifier.mode;
   trace : Trace.t option;
+  domain_pool : Domain_pool.t option;
 }
 
 let create ?(model = Sim_clock.default_model) ?(pool_pages = 2048)
     ?(budget_pages = 512) ?(params = Reopt_policy.default_params)
     ?opt_options ?(runtime_filters = false) ?(plan_cache = false)
-    ?(verify_plans = Verifier.Off) ?trace catalog =
+    ?(verify_plans = Verifier.Off) ?trace ?(parallel = 1) catalog =
   (* Unless told otherwise, the optimizer assumes each memory consumer will
-     receive about half the memory-manager budget. *)
+     receive about half the memory-manager budget.  [parallel] both raises
+     the optimizer's degree-of-parallelism ceiling and spins up the domain
+     pool the workers run on; at 1 everything stays serial and no domains
+     are spawned. *)
   let opt_options =
     match opt_options with
     | Some o -> { o with Optimizer.enable_runtime_filters = runtime_filters }
     | None ->
       { Optimizer.default_options with
         Optimizer.planning_mem_pages = max 8 (budget_pages / 2);
-        enable_runtime_filters = runtime_filters }
+        enable_runtime_filters = runtime_filters;
+        max_dop = max 1 parallel }
   in
   { catalog; model; pool_pages; budget_pages; params; opt_options;
     udfs = ref [];
     plan_cache = (if plan_cache then Some (Plan_cache.create ()) else None);
     verify = verify_plans;
-    trace }
+    trace;
+    domain_pool =
+      (if parallel > 1 then Some (Domain_pool.create ~size:parallel ())
+       else None) }
+
+(* Tear down the domain pool (idempotent; a no-op for serial engines).
+   Long-running hosts should call this when discarding an engine — the
+   domains are otherwise reclaimed only at process exit. *)
+let shutdown t = Option.iter Domain_pool.shutdown t.domain_pool
 
 let catalog t = t.catalog
 
@@ -87,7 +101,8 @@ let config ?trace t mode start_sampling =
     env_overlay = None;
     temp_prefix = "";
     verify = t.verify;
-    trace }
+    trace;
+    domain_pool = t.domain_pool }
 
 let budget_pages t = t.budget_pages
 
@@ -296,7 +311,8 @@ let lint t ?(mode = Dispatcher.Full) sql =
         Scia.insert ~mu:t.params.Reopt_policy.mu ~env r.Optimizer.plan
       in
       Optimizer.recost ~planning_mem:t.opt_options.Optimizer.planning_mem_pages
-        ~model:t.model ~env scia.Scia.plan
+        ~max_dop:t.opt_options.Optimizer.max_dop ~model:t.model ~env
+        scia.Scia.plan
   in
   let memman = Memory_manager.create ~budget_pages:t.budget_pages in
   ignore (Memory_manager.allocate memman plan);

@@ -30,7 +30,14 @@ type t
     query run through the engine opens a scope in it (labelled with its
     truncated SQL) and stamps operator spans, decision-point ledger
     entries and metrics — pure observation that never charges the
-    simulated clock. *)
+    simulated clock.  [parallel] (default 1) enables intra-query
+    parallelism: the optimizer may assign operators a degree of
+    parallelism up to [parallel], and a {!Mqr_exec.Domain_pool} of that
+    many real domains executes the workers.  Result rows and simulated
+    time depend only on the chosen plan degrees, never on how many
+    domains actually run them, so [parallel] changes wall-clock time
+    only.  Call {!shutdown} to join the domains when discarding a
+    parallel engine. *)
 val create :
   ?model:Sim_clock.model ->
   ?pool_pages:int ->
@@ -41,7 +48,12 @@ val create :
   ?plan_cache:bool ->
   ?verify_plans:Mqr_analysis.Verifier.mode ->
   ?trace:Mqr_obs.Trace.t ->
+  ?parallel:int ->
   Mqr_catalog.Catalog.t -> t
+
+(** Join the engine's worker domains (idempotent; no-op for serial
+    engines). *)
+val shutdown : t -> unit
 
 val catalog : t -> Mqr_catalog.Catalog.t
 

@@ -182,7 +182,8 @@ let insert ~mu ~env plan =
               total_ms = p.Plan.est.Plan.total_ms +. collect_ms };
           min_mem = 0;
           max_mem = 0;
-          mem = 0 }
+          mem = 0;
+          dop = 1 }
       end
     | _ -> p
   in

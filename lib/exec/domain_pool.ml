@@ -1,0 +1,142 @@
+(* Work-stealing pool of OCaml 5 domains.
+
+   One mutex guards all deques and counters: tasks here are coarse
+   (operator partitions, thousands of tuples each), so queue contention is
+   noise next to task bodies and a single lock keeps the invariants easy
+   to audit.  Workers prefer their own deque, then steal round-robin from
+   the others, and only then sleep on [cond].  [cond] is broadcast on
+   submission, task completion and shutdown; waiters re-check their
+   predicate in a loop, so spurious and cross-purpose wakeups are safe. *)
+
+type task = { body : unit -> unit }
+
+type t = {
+  n : int;
+  deques : task Queue.t array;          (* one per worker *)
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable stop : bool;
+  mutable outstanding : int;            (* submitted, not yet finished *)
+  mutable next : int;                   (* round-robin submission cursor *)
+  mutable domains : unit Domain.t array;
+}
+
+(* Nested [run_all] from inside a task must not block on the pool it is
+   already running on (the workers it would wait for may all be waiting on
+   it).  Workers flag their domain; flagged callers run inline. *)
+let on_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let size t = t.n
+let is_shutdown t = t.stop || t.n <= 1
+
+let pending t =
+  Mutex.lock t.mutex;
+  let p = t.outstanding in
+  Mutex.unlock t.mutex;
+  p
+
+(* Pop a runnable task, own deque first, stealing otherwise; called with
+   [t.mutex] held.  Queued work is drained even after [stop] so shutdown
+   never strands a submitted batch; [None] only once stopped *and* dry. *)
+let rec next_task t w =
+  let steal i = Queue.take_opt t.deques.((w + i) mod t.n) in
+  let rec scan i = if i >= t.n then None else
+      match steal i with Some _ as r -> r | None -> scan (i + 1)
+  in
+  match scan 0 with
+  | Some _ as r -> r
+  | None ->
+    if t.stop then None
+    else begin
+      Condition.wait t.cond t.mutex;
+      next_task t w
+    end
+
+let worker_loop t w () =
+  Domain.DLS.set on_worker true;
+  let rec loop () =
+    Mutex.lock t.mutex;
+    match next_task t w with
+    | None -> Mutex.unlock t.mutex
+    | Some task ->
+      Mutex.unlock t.mutex;
+      task.body ();
+      loop ()
+  in
+  loop ()
+
+let create ~size () =
+  let n = max 1 size in
+  let t =
+    { n;
+      deques = Array.init n (fun _ -> Queue.create ());
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      stop = n <= 1;
+      outstanding = 0;
+      next = 0;
+      domains = [||] }
+  in
+  if n > 1 then
+    t.domains <- Array.init n (fun w -> Domain.spawn (worker_loop t w));
+  t
+
+let run_inline thunks =
+  let results = Array.map (fun f -> try Ok (f ()) with e -> Error e) thunks in
+  Array.map (function Ok v -> v | Error e -> raise e) results
+
+let run_all t thunks =
+  let n_tasks = Array.length thunks in
+  if n_tasks = 0 then [||]
+  else if t.n <= 1 || t.stop || Domain.DLS.get on_worker then
+    run_inline thunks
+  else begin
+    let results = Array.make n_tasks None in
+    let finished = ref 0 in                      (* guarded by t.mutex *)
+    let wrap i f =
+      { body =
+          (fun () ->
+             let r = try Ok (f ()) with e -> Error e in
+             Mutex.lock t.mutex;
+             results.(i) <- Some r;
+             incr finished;
+             t.outstanding <- t.outstanding - 1;
+             Condition.broadcast t.cond;
+             Mutex.unlock t.mutex) }
+    in
+    Mutex.lock t.mutex;
+    if t.stop then begin
+      (* lost the race with shutdown: fall back to inline *)
+      Mutex.unlock t.mutex;
+      run_inline thunks
+    end else begin
+      Array.iteri
+        (fun i f ->
+           Queue.push (wrap i f) t.deques.(t.next);
+           t.next <- (t.next + 1) mod t.n;
+           t.outstanding <- t.outstanding + 1)
+        thunks;
+      Condition.broadcast t.cond;
+      while !finished < n_tasks do Condition.wait t.cond t.mutex done;
+      Mutex.unlock t.mutex;
+      Array.map
+        (function
+          | Some (Ok v) -> v
+          | Some (Error e) -> raise e
+          | None -> assert false)
+        results
+    end
+  end
+
+let shutdown t =
+  if t.n > 1 then begin
+    Mutex.lock t.mutex;
+    let first = not t.stop in
+    t.stop <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    if first then begin
+      Array.iter Domain.join t.domains;
+      t.domains <- [||]
+    end
+  end

@@ -3,32 +3,55 @@ open Mqr_storage
 type t = {
   degree : int;
   net_ms_per_page : float;
+  pool : Domain_pool.t option;
 }
 
-let sequential = { degree = 1; net_ms_per_page = 0.0 }
+let startup_ms = 0.05
+let default_net_ms_per_page = 0.4
 
-let make ?(net_ms_per_page = 0.4) ~degree () =
+let sequential = { degree = 1; net_ms_per_page = 0.0; pool = None }
+
+let make ?(net_ms_per_page = default_net_ms_per_page) ?pool ~degree () =
   if degree < 1 then invalid_arg "Parallel.make: degree < 1";
-  { degree; net_ms_per_page }
+  { degree; net_ms_per_page; pool }
 
-let run ctx t f =
+(* Each worker closure owns a fresh [Exec_ctx] (clock + buffer-pool slice)
+   and writes only its own result slot, so the simulated charges it makes
+   are identical whether the closures run inline, on 2 domains or on 8 —
+   the scheduling substrate can only change wall-clock time. *)
+let run ctx t ?slice_pages ?on_worker f =
   if t.degree = 1 then [ f 0 ctx ]
   else begin
     let model = Sim_clock.model ctx.Exec_ctx.clock in
-    let pool_slice =
-      max 8 (Buffer_pool.capacity ctx.Exec_ctx.pool / t.degree)
+    let slice =
+      match slice_pages with
+      | Some p -> max 1 p
+      | None -> max 1 (Buffer_pool.capacity ctx.Exec_ctx.pool / t.degree)
     in
-    let slowest = ref 0.0 in
-    let results =
-      List.init t.degree (fun w ->
-          let wctx = Exec_ctx.create ~model ~pool_pages:pool_slice () in
+    let thunks =
+      Array.init t.degree (fun w () ->
+          let wctx = Exec_ctx.create ~model ~pool_pages:slice () in
+          let t0 = Unix.gettimeofday () in
           let r = f w wctx in
-          let elapsed = Sim_clock.elapsed_ms wctx.Exec_ctx.clock in
-          if elapsed > !slowest then slowest := elapsed;
-          r)
+          let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+          (r, Sim_clock.elapsed_ms wctx.Exec_ctx.clock, wall_ms))
     in
-    Sim_clock.charge_cpu_ms ctx.Exec_ctx.clock !slowest;
-    results
+    let results =
+      match t.pool with
+      | Some pool -> Domain_pool.run_all pool thunks
+      | None -> Array.map (fun f -> f ()) thunks
+    in
+    let slowest =
+      Array.fold_left (fun acc (_, sim, _) -> Float.max acc sim) 0.0 results
+    in
+    (match on_worker with
+     | Some g ->
+       Array.iteri (fun w (_, sim_ms, wall_ms) -> g w ~sim_ms ~wall_ms) results
+     | None -> ());
+    Sim_clock.charge_cpu_ms ctx.Exec_ctx.clock slowest;
+    Sim_clock.charge_cpu_ms ctx.Exec_ctx.clock
+      (startup_ms *. float_of_int (t.degree - 1));
+    Array.to_list (Array.map (fun (r, _, _) -> r) results)
   end
 
 let charge_exchange ctx t rows =
@@ -52,19 +75,22 @@ let partition_by ctx t schema ~column rows =
   charge_exchange ctx t rows;
   Array.map (fun l -> Array.of_list (List.rev l)) parts
 
-let partition_round_robin t rows =
+let partition_round_robin ctx t rows =
   let parts = Array.make t.degree [] in
-  Array.iteri (fun i tuple -> parts.(i mod t.degree) <- tuple :: parts.(i mod t.degree)) rows;
+  Array.iteri
+    (fun i tuple -> parts.(i mod t.degree) <- tuple :: parts.(i mod t.degree))
+    rows;
+  charge_exchange ctx t rows;
   Array.map (fun l -> Array.of_list (List.rev l)) parts
 
-(* Striped scan: worker [w] reads rids w, w+degree, ... — each from its own
-   disk, so pages divide across workers. *)
-let scan ctx t heap =
+(* Striped scan: worker [w] reads rids w*n/d .. (w+1)*n/d — each from its
+   own disk, so pages divide across workers and no exchange is charged. *)
+let scan ctx t ?slice_pages ?on_worker heap =
   if t.degree = 1 then Scan.seq_scan ctx heap
   else begin
     let n = Heap_file.tuple_count heap in
     let chunks =
-      run ctx t (fun w wctx ->
+      run ctx t ?slice_pages ?on_worker (fun w wctx ->
           let lo = w * n / t.degree and hi = (w + 1) * n / t.degree in
           let out = Array.make (max 0 (hi - lo)) [||] in
           Heap_file.scan_range heap ~pool:wctx.Exec_ctx.pool
@@ -75,8 +101,9 @@ let scan ctx t heap =
     Array.concat chunks
   end
 
-let hash_join ctx t ~mem_pages ~build:(build_rows, build_schema)
-    ~probe:(probe_rows, probe_schema) ~keys ?extra () =
+let hash_join ctx t ?slice_pages ?on_worker ~mem_pages
+    ~build:(build_rows, build_schema) ~probe:(probe_rows, probe_schema) ~keys
+    ?extra () =
   match keys, t.degree with
   | [], _ | _, 1 ->
     let r =
@@ -89,7 +116,7 @@ let hash_join ctx t ~mem_pages ~build:(build_rows, build_schema)
     let probe_parts = partition_by ctx t probe_schema ~column:probe_col probe_rows in
     let per_worker_mem = max 2 (mem_pages / t.degree) in
     let chunks =
-      run ctx t (fun w wctx ->
+      run ctx t ?slice_pages ?on_worker (fun w wctx ->
           let r =
             Join.hash_join wctx ~mem_pages:per_worker_mem
               ~build:(build_parts.(w), build_schema)
@@ -101,7 +128,8 @@ let hash_join ctx t ~mem_pages ~build:(build_rows, build_schema)
     let schema = Schema.concat probe_schema build_schema in
     (Array.concat chunks, schema)
 
-let aggregate ctx t ~mem_pages schema ~group_by ~aggs rows =
+let aggregate ctx t ?slice_pages ?on_worker ~mem_pages schema ~group_by ~aggs
+    rows =
   match group_by, t.degree with
   | [], _ | _, 1 ->
     let r = Aggregate.hash_aggregate ctx ~mem_pages schema ~group_by ~aggs rows in
@@ -112,7 +140,7 @@ let aggregate ctx t ~mem_pages schema ~group_by ~aggs rows =
     let parts = partition_by ctx t schema ~column:first rows in
     let per_worker_mem = max 1 (mem_pages / t.degree) in
     let chunks =
-      run ctx t (fun w wctx ->
+      run ctx t ?slice_pages ?on_worker (fun w wctx ->
           let r =
             Aggregate.hash_aggregate wctx ~mem_pages:per_worker_mem schema
               ~group_by ~aggs parts.(w)
@@ -121,3 +149,47 @@ let aggregate ctx t ~mem_pages schema ~group_by ~aggs rows =
     in
     let out_schema = Aggregate.output_schema schema ~group_by ~aggs in
     (Array.concat chunks, out_schema)
+
+let sort ctx t ?slice_pages ?on_worker ~mem_pages schema ~keys rows =
+  if t.degree = 1 then
+    (Sort.sort ctx ~mem_pages schema ~keys rows).Sort.rows
+  else begin
+    let parts = partition_round_robin ctx t rows in
+    let per_worker_mem = max 2 (mem_pages / t.degree) in
+    let chunks =
+      Array.of_list
+        (run ctx t ?slice_pages ?on_worker (fun w wctx ->
+             (Sort.sort wctx ~mem_pages:per_worker_mem schema ~keys
+                parts.(w)).Sort.rows))
+    in
+    (* k-way merge on the parent, one comparison-ish unit per output row;
+       ties resolve to the lowest worker index so the merge is a pure
+       function of the chunks *)
+    let idxs = List.map (fun (c, asc) -> (Schema.index_of schema c, asc)) keys in
+    let cmp a b =
+      let rec go = function
+        | [] -> 0
+        | (i, asc) :: rest ->
+          let c = Value.compare a.(i) b.(i) in
+          if c <> 0 then if asc then c else -c else go rest
+      in
+      go idxs
+    in
+    let n = Array.length rows in
+    let out = Array.make n [||] in
+    let cursor = Array.make t.degree 0 in
+    for o = 0 to n - 1 do
+      let best = ref (-1) in
+      for w = t.degree - 1 downto 0 do
+        if cursor.(w) < Array.length chunks.(w) then
+          if
+            !best < 0
+            || cmp chunks.(w).(cursor.(w)) chunks.(!best).(cursor.(!best)) <= 0
+          then best := w
+      done;
+      out.(o) <- chunks.(!best).(cursor.(!best));
+      cursor.(!best) <- cursor.(!best) + 1
+    done;
+    Sim_clock.charge_sort_tuples ctx.Exec_ctx.clock n;
+    out
+  end

@@ -1,33 +1,63 @@
 (** Partitioned (shared-nothing) parallel execution, Paradise-style.
 
-    The paper's testbed was a 4-node parallel DBMS.  This module simulates
+    The paper's testbed was a 4-node parallel DBMS.  This module provides
     that substrate: work is hash- or round-robin-partitioned across
-    [degree] workers, each worker runs the ordinary serial operator against
-    its own clock and its own slice of the buffer pool, and the parent
-    clock is charged with the *maximum* worker time (workers proceed in
-    parallel) plus the network cost of any repartitioning exchange.
+    [degree] workers, each worker runs the ordinary serial operator
+    against its own clock and its own slice of the buffer pool, and the
+    parent clock is charged with the *maximum* worker time (workers
+    proceed in parallel) plus the network cost of any repartitioning
+    exchange and a small per-worker startup fee.
 
-    Results are identical to serial execution; only the simulated time
-    changes.  Skew matters exactly as on a real cluster: a heavy hash
-    partition dominates the max. *)
+    Two notions of "parallel" are deliberately decoupled:
+
+    - [degree] is the {e plan} degree of parallelism: how many partitions
+      the data is split into, and therefore what the simulated clock is
+      charged.  It is part of the plan and fully deterministic.
+    - [pool] is the {e execution} substrate: a {!Domain_pool.t} of real
+      domains the per-worker closures are submitted to.  Worker closures
+      touch only their own [Exec_ctx] and their own result slot and are
+      merged in worker-index order, so the result rows and every simulated
+      charge are byte-identical whether the pool has 1 domain or 8 — only
+      wall-clock time changes.  [pool = None] runs the workers inline.
+
+    Skew matters exactly as on a real cluster: a heavy hash partition
+    dominates the max.  Per-worker simulated and wall-clock elapsed are
+    reported through [on_worker] so callers can trace each lane and
+    detect that skew. *)
 
 open Mqr_storage
 
 type t = {
   degree : int;
   net_ms_per_page : float;  (** shipping one page through the interconnect *)
+  pool : Domain_pool.t option;  (** real domains; [None] = inline *)
 }
+
+(** Charged to the parent clock per extra worker: forking the closure and
+    folding its results back in.  Mirrored by the cost model so estimated
+    and actual parallel costs agree. *)
+val startup_ms : float
+
+(** Default interconnect cost per exchanged page. *)
+val default_net_ms_per_page : float
 
 val sequential : t
 
-(** 4-node Paradise-like configuration. *)
-val make : ?net_ms_per_page:float -> degree:int -> unit -> t
+(** 4-node Paradise-like configuration; [pool] supplies real domains. *)
+val make : ?net_ms_per_page:float -> ?pool:Domain_pool.t -> degree:int ->
+  unit -> t
 
 (** [run ctx t f] executes [f worker_index worker_ctx] for every worker,
-    each against a fresh clock and a buffer-pool slice, then charges
-    [ctx]'s clock with the slowest worker's elapsed time.  Returns the
-    per-worker results in index order. *)
-val run : Exec_ctx.t -> t -> (int -> Exec_ctx.t -> 'a) -> 'a list
+    each against a fresh clock and a buffer-pool slice of [slice_pages]
+    (default: an even split of [ctx]'s pool), then charges [ctx]'s clock
+    with the slowest worker's simulated time plus {!startup_ms} per extra
+    worker.  Returns the per-worker results in index order; [on_worker]
+    receives each worker's simulated and wall-clock elapsed, also in
+    index order. *)
+val run :
+  Exec_ctx.t -> t -> ?slice_pages:int ->
+  ?on_worker:(int -> sim_ms:float -> wall_ms:float -> unit) ->
+  (int -> Exec_ctx.t -> 'a) -> 'a list
 
 (** Hash-partition rows on a column; charges the exchange (all pages cross
     the interconnect under hash repartitioning). *)
@@ -35,27 +65,44 @@ val partition_by :
   Exec_ctx.t -> t -> Schema.t -> column:string -> Tuple.t array ->
   Tuple.t array array
 
-(** Round-robin partitioning (no key): used for striped scans; charges no
-    exchange, as each worker reads its own slice. *)
-val partition_round_robin : t -> Tuple.t array -> Tuple.t array array
+(** Round-robin partitioning (no key): the rows still cross the
+    interconnect, so the exchange is charged exactly like
+    {!partition_by}. *)
+val partition_round_robin :
+  Exec_ctx.t -> t -> Tuple.t array -> Tuple.t array array
 
 (** Parallel operators built from the serial ones.  All return exactly the
-    serial results. *)
+    serial result multiset, merged in worker-index order. *)
 
 val scan :
-  Exec_ctx.t -> t -> Heap_file.t -> Tuple.t array
+  Exec_ctx.t -> t -> ?slice_pages:int ->
+  ?on_worker:(int -> sim_ms:float -> wall_ms:float -> unit) ->
+  Heap_file.t -> Tuple.t array
 
 (** Co-partitioned hash join: both inputs are hash-exchanged on the join
     key, each worker joins its partition pair with [mem_pages / degree]
     pages. *)
 val hash_join :
-  Exec_ctx.t -> t -> mem_pages:int ->
+  Exec_ctx.t -> t -> ?slice_pages:int ->
+  ?on_worker:(int -> sim_ms:float -> wall_ms:float -> unit) ->
+  mem_pages:int ->
   build:Tuple.t array * Schema.t -> probe:Tuple.t array * Schema.t ->
   keys:(string * string) list -> ?extra:Mqr_expr.Expr.t -> unit ->
   Tuple.t array * Schema.t
 
-(** Partitioned aggregation: input exchanged on the first grouping column
-    (or round-robin + final merge when there is none). *)
+(** Partitioned aggregation: input exchanged on the first grouping column,
+    so every group is computed wholly on one worker. *)
 val aggregate :
-  Exec_ctx.t -> t -> mem_pages:int -> Schema.t -> group_by:string list ->
+  Exec_ctx.t -> t -> ?slice_pages:int ->
+  ?on_worker:(int -> sim_ms:float -> wall_ms:float -> unit) ->
+  mem_pages:int -> Schema.t -> group_by:string list ->
   aggs:Aggregate.spec list -> Tuple.t array -> Tuple.t array * Schema.t
+
+(** Partitioned sort: round-robin exchange, per-worker external sort, then
+    a deterministic k-way merge on the parent (ties broken by worker
+    index, so the output is independent of the pool size). *)
+val sort :
+  Exec_ctx.t -> t -> ?slice_pages:int ->
+  ?on_worker:(int -> sim_ms:float -> wall_ms:float -> unit) ->
+  mem_pages:int -> Schema.t -> keys:(string * bool) list ->
+  Tuple.t array -> Tuple.t array

@@ -85,13 +85,30 @@ type scope = {
   offset : float;
   mutable stack : pending list;  (* innermost first *)
   mutable seq : int;             (* decision-point ordinal *)
+  mutable lanes : (int * scope) list;  (* memoized worker lanes *)
 }
 
 let scope t ?(offset_ms = 0.0) ~label () =
   let tid = t.next_tid in
   t.next_tid <- tid + 1;
   t.scopes <- (tid, label) :: t.scopes;
-  { parent = t; tid; label; offset = offset_ms; stack = []; seq = 0 }
+  { parent = t; tid; label; offset = offset_ms; stack = []; seq = 0;
+    lanes = [] }
+
+(* One extra Chrome-trace thread per parallel worker of a query, so the
+   per-worker spans of an exchange operator render as their own tracks.
+   Lanes share the query's offset and are memoized: every operator's
+   worker [i] lands on the same track. *)
+let worker_lane s i =
+  match List.assoc_opt i s.lanes with
+  | Some lane -> lane
+  | None ->
+    let lane =
+      scope s.parent ~offset_ms:s.offset
+        ~label:(Printf.sprintf "%s#w%d" s.label i) ()
+    in
+    s.lanes <- (i, lane) :: s.lanes;
+    lane
 
 let scope_label s = s.label
 let scope_tid s = s.tid

@@ -96,6 +96,12 @@ val scope_label : scope -> string
 val scope_tid : scope -> int
 val scope_metrics : scope -> Metrics.t
 
+(** [worker_lane s i] is a child lane for parallel worker [i] of [s]'s
+    query — its own Chrome-trace thread labelled ["<label>#wI"], sharing
+    [s]'s time offset.  Memoized per scope, so every operator's worker
+    [i] stamps onto the same track. *)
+val worker_lane : scope -> int -> scope
+
 type token
 
 val open_span :

@@ -87,6 +87,29 @@ let runtime_filter_ms ~build_rows ~probe_rows =
   (build_rows *. Mqr_exec.Runtime_filter.build_tuple_ms)
   +. (probe_rows *. Mqr_exec.Runtime_filter.probe_tuple_ms)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel (partitioned) execution.  The executor charges the slowest
+   worker plus the exchange and a per-worker startup fee
+   (Mqr_exec.Parallel); the estimates below price the same three terms so
+   estimated and actual parallel costs diverge only through cardinality
+   error, exactly like the serial operators. *)
+
+(* Shipping [pages] through the interconnect during a repartitioning
+   exchange (hash or round-robin — both move every page). *)
+let exchange_ms ~pages =
+  pages *. Mqr_exec.Parallel.default_net_ms_per_page
+
+(* Forking [dop] worker closures and merging their results. *)
+let startup_ms ~dop =
+  Mqr_exec.Parallel.startup_ms *. float_of_int (max 0 (dop - 1))
+
+(* Cost of running an operator partitioned [dop] ways: [per_worker] prices
+   one worker's share (the partitions are assumed even, so the slowest
+   worker costs the same as any other), [exchange_pages] is everything
+   that crosses the interconnect first. *)
+let parallel_ms ~dop ~exchange_pages ~per_worker =
+  per_worker +. exchange_ms ~pages:exchange_pages +. startup_ms ~dop
+
 let fudge = Mqr_exec.Join.hash_join_fudge
 
 let hash_join_mem ~build_pages =

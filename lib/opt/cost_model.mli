@@ -63,6 +63,21 @@ val materialize_ms : Sim_clock.model -> pages:float -> float
     cardinality instead. *)
 val runtime_filter_ms : build_rows:float -> probe_rows:float -> float
 
+(** Parallel (partitioned) execution, priced with the same three terms the
+    executor charges (slowest worker + exchange + startup) so estimated
+    and actual parallel costs diverge only through cardinality error. *)
+
+(** Interconnect cost of repartitioning [pages] across workers. *)
+val exchange_ms : pages:float -> float
+
+(** Forking [dop] worker closures and merging their results back. *)
+val startup_ms : dop:int -> float
+
+(** [parallel_ms ~dop ~exchange_pages ~per_worker] prices an operator
+    split [dop] ways, where [per_worker] is the cost of one (even)
+    partition's share. *)
+val parallel_ms : dop:int -> exchange_pages:float -> per_worker:float -> float
+
 (** Memory demands in pages: [(minimum, maximum)]. *)
 val hash_join_mem : build_pages:float -> int * int
 val sort_mem : data_pages:float -> int * int

@@ -11,6 +11,7 @@ type options = {
   enable_bushy : bool;
   enable_runtime_filters : bool;
   planning_mem_pages : int;
+  max_dop : int;
 }
 
 let default_options =
@@ -18,7 +19,8 @@ let default_options =
     enable_merge_join = true;
     enable_bushy = true;
     enable_runtime_filters = false;
-    planning_mem_pages = 128 }
+    planning_mem_pages = 128;
+    max_dop = 1 }
 
 type result = {
   plan : Plan.t;
@@ -35,15 +37,18 @@ type ctx = {
   env : Stats_env.t;
   sel_env : Selectivity.env;
   planning_mem : int;
+  max_dop : int;
   mutable next_id : int;
   mutable enumerated : int;
 }
 
-let make_ctx ?(planning_mem = default_options.planning_mem_pages) ~model ~env () =
+let make_ctx ?(planning_mem = default_options.planning_mem_pages)
+    ?(max_dop = 1) ~model ~env () =
   { model;
     env;
     sel_env = Stats_env.selectivity_env env;
     planning_mem;
+    max_dop = max 1 max_dop;
     next_id = 0;
     enumerated = 0 }
 
@@ -67,7 +72,8 @@ let width_of schema = float_of_int (Schema.avg_tuple_width schema)
 (* Node constructors: estimation + costing in one place so [recost]    *)
 (* and the DP share the exact same formulas.                           *)
 
-let mk_node ctx node schema ~rows ~op_ms ~children ~min_mem ~max_mem ~mem =
+let mk_node ctx ?(dop = 1) node schema ~rows ~op_ms ~children ~min_mem
+    ~max_mem ~mem =
   let rows = Float.max 0.05 rows in
   let total_ms =
     List.fold_left (fun acc (c : Plan.t) -> acc +. c.Plan.est.Plan.total_ms)
@@ -79,7 +85,29 @@ let mk_node ctx node schema ~rows ~op_ms ~children ~min_mem ~max_mem ~mem =
     est = { Plan.rows; width = width_of schema; op_ms; total_ms };
     min_mem;
     max_mem;
-    mem }
+    mem;
+    dop }
+
+(* ------------------------------------------------------------------ *)
+(* Degree-of-parallelism choice.  Candidate degrees are powers of two up
+   to [max_dop] (the degrees the bench sweeps); [per_worker d] prices one
+   even partition's share and [exchange_pages] what must cross the
+   interconnect first.  Degree 1 is exactly the serial cost — no exchange,
+   no startup — so with [max_dop = 1] every plan, cost and trace is
+   byte-identical to a build without parallelism.  Ties keep the smaller
+   degree. *)
+
+let choose_dop ctx ~exchange_pages ~per_worker =
+  let rec go d (best_d, best_ms) =
+    if d > ctx.max_dop then (best_d, best_ms)
+    else begin
+      let ms =
+        Cost_model.parallel_ms ~dop:d ~exchange_pages ~per_worker:(per_worker d)
+      in
+      go (d * 2) (if ms < best_ms then (d, ms) else (best_d, best_ms))
+    end
+  in
+  go 2 (1, per_worker 1)
 
 let scan_out_rows ctx ~alias ~filter =
   let r = Stats_env.rel ctx.env ~alias in
@@ -90,14 +118,21 @@ let scan_out_rows ctx ~alias ~filter =
 let mk_seq_scan ctx ~table ~alias ~filter ~schema =
   let r = Stats_env.rel ctx.env ~alias in
   let rows = scan_out_rows ctx ~alias ~filter in
+  (* the scan stripes across workers (each reads its own rid range, no
+     exchange); the predicate is evaluated on the parent and stays serial *)
+  let dop, scan_ms =
+    choose_dop ctx ~exchange_pages:0.0 ~per_worker:(fun d ->
+        let d = float_of_int d in
+        Cost_model.seq_scan_ms ctx.model ~pages:(r.Stats_env.pages /. d)
+          ~rows:(r.Stats_env.rows /. d))
+  in
   let op_ms =
-    Cost_model.seq_scan_ms ctx.model ~pages:r.Stats_env.pages
-      ~rows:r.Stats_env.rows
+    scan_ms
     +. (match filter with
         | None -> 0.0
         | Some _ -> r.Stats_env.rows *. ctx.model.Sim_clock.cpu_tuple_ms)
   in
-  mk_node ctx (Plan.Seq_scan { table; alias; filter }) schema ~rows ~op_ms
+  mk_node ctx ~dop (Plan.Seq_scan { table; alias; filter }) schema ~rows ~op_ms
     ~children:[] ~min_mem:0 ~max_mem:0 ~mem:0
 
 let mk_index_scan ctx ~table ~alias ~index_col ~lo ~hi ~filter ~schema
@@ -213,13 +248,33 @@ let mk_hash_join ctx ~build ~probe ~keys ~extra ~mem ~with_rf =
   in
   let min_mem, max_mem = Cost_model.hash_join_mem ~build_pages in
   let mem = effective_mem ctx ~mem ~max_mem in
+  (* both inputs are hash-exchanged on the key, then each worker joins its
+     co-partition pair with an even share of the memory grant; runtime
+     filters are built and probed outside the partitioned join and stay
+     serial *)
+  let dop, join_ms =
+    if keys = [] then (1, Cost_model.hash_join_ms ctx.model
+                         ~build_rows:b.Plan.rows ~build_pages
+                         ~probe_rows:probe_rows_eff ~probe_pages
+                         ~out_rows:rows ~mem_pages:mem)
+    else
+      choose_dop ctx ~exchange_pages:(build_pages +. probe_pages)
+        ~per_worker:(fun d ->
+            let fd = float_of_int d in
+            Cost_model.hash_join_ms ctx.model
+              ~build_rows:(b.Plan.rows /. fd)
+              ~build_pages:(build_pages /. fd)
+              ~probe_rows:(probe_rows_eff /. fd)
+              ~probe_pages:(probe_pages /. fd)
+              ~out_rows:(rows /. fd)
+              ~mem_pages:(max 2 (mem / d)))
+  in
   let op_ms =
-    Cost_model.hash_join_ms ctx.model ~build_rows:b.Plan.rows ~build_pages
-      ~probe_rows:probe_rows_eff ~probe_pages ~out_rows:rows ~mem_pages:mem
+    join_ms
     +. rf_overhead_ms ~build_rows:b.Plan.rows ~probe_rows:p.Plan.rows rf
   in
-  mk_node ctx (Plan.Hash_join { build; probe; keys; extra; rf }) schema ~rows
-    ~op_ms ~children:[ build; probe ] ~min_mem ~max_mem ~mem
+  mk_node ctx ~dop (Plan.Hash_join { build; probe; keys; extra; rf }) schema
+    ~rows ~op_ms ~children:[ build; probe ] ~min_mem ~max_mem ~mem
 
 let mk_index_nl_join ctx ~outer ~table ~alias ~outer_col ~inner_col
     ~inner_filter ~extra ~inner_schema =
@@ -332,16 +387,27 @@ let mk_aggregate ctx ~input ~group_by ~aggs ~mem =
     if pre_sorted then (0, 0) else Cost_model.aggregate_mem ~group_pages
   in
   let mem = if pre_sorted then 0 else effective_mem ctx ~mem ~max_mem in
-  let op_ms =
+  (* partitioned on the first grouping column (every group lands wholly on
+     one worker); streaming and ungrouped aggregation stay serial *)
+  let dop, op_ms =
     if pre_sorted then
-      Cost_model.aggregate_sorted_ms ctx.model ~in_rows:in_est.Plan.rows
-        ~groups:rows
+      (1, Cost_model.aggregate_sorted_ms ctx.model ~in_rows:in_est.Plan.rows
+            ~groups:rows)
+    else if group_by = [] then
+      (1, Cost_model.aggregate_ms ctx.model ~in_rows:in_est.Plan.rows
+            ~in_pages ~groups:rows ~group_pages ~mem_pages:mem)
     else
-      Cost_model.aggregate_ms ctx.model ~in_rows:in_est.Plan.rows ~in_pages
-        ~groups:rows ~group_pages ~mem_pages:mem
+      choose_dop ctx ~exchange_pages:in_pages ~per_worker:(fun d ->
+          let fd = float_of_int d in
+          Cost_model.aggregate_ms ctx.model
+            ~in_rows:(in_est.Plan.rows /. fd)
+            ~in_pages:(in_pages /. fd)
+            ~groups:(rows /. fd)
+            ~group_pages:(group_pages /. fd)
+            ~mem_pages:(max 1 (mem / d)))
   in
-  mk_node ctx (Plan.Aggregate { input; group_by; aggs; pre_sorted }) schema
-    ~rows ~op_ms ~children:[ input ] ~min_mem ~max_mem ~mem
+  mk_node ctx ~dop (Plan.Aggregate { input; group_by; aggs; pre_sorted })
+    schema ~rows ~op_ms ~children:[ input ] ~min_mem ~max_mem ~mem
 
 let mk_sort ctx ~input ~keys ~mem =
   let in_est = input.Plan.est in
@@ -350,11 +416,17 @@ let mk_sort ctx ~input ~keys ~mem =
   in
   let min_mem, max_mem = Cost_model.sort_mem ~data_pages in
   let mem = effective_mem ctx ~mem ~max_mem in
-  let op_ms =
-    Cost_model.sort_ms ctx.model ~rows:in_est.Plan.rows ~data_pages
-      ~mem_pages:mem
+  (* round-robin exchange, per-worker external sort, then a serial k-way
+     merge on the parent (one comparison unit per output row) *)
+  let dop, op_ms =
+    choose_dop ctx ~exchange_pages:data_pages ~per_worker:(fun d ->
+        let fd = float_of_int d in
+        Cost_model.sort_ms ctx.model ~rows:(in_est.Plan.rows /. fd)
+          ~data_pages:(data_pages /. fd) ~mem_pages:(max 2 (mem / d))
+        +. (if d = 1 then 0.0
+            else in_est.Plan.rows *. ctx.model.Sim_clock.sort_tuple_ms))
   in
-  mk_node ctx (Plan.Sort { input; keys }) input.Plan.schema
+  mk_node ctx ~dop (Plan.Sort { input; keys }) input.Plan.schema
     ~rows:in_est.Plan.rows ~op_ms ~children:[ input ] ~min_mem ~max_mem ~mem
 
 let mk_filter ctx ~input ~pred =
@@ -802,7 +874,10 @@ let plan_query ctx options (q : Query.t) =
       first rest
 
 let optimize ?(options = default_options) ?clock ~model ~env q =
-  let ctx = make_ctx ~planning_mem:options.planning_mem_pages ~model ~env () in
+  let ctx =
+    make_ctx ~planning_mem:options.planning_mem_pages ~max_dop:options.max_dop
+      ~model ~env ()
+  in
   let plan = plan_query ctx options q in
   (match clock with
    | Some c -> Sim_clock.charge_optimizer c ~plans:ctx.enumerated
@@ -812,8 +887,9 @@ let optimize ?(options = default_options) ?clock ~model ~env q =
 (* ------------------------------------------------------------------ *)
 (* Re-costing an existing structure under improved statistics.         *)
 
-let recost ?(planning_mem = default_options.planning_mem_pages) ~model ~env plan =
-  let ctx = make_ctx ~planning_mem ~model ~env () in
+let recost ?(planning_mem = default_options.planning_mem_pages) ?(max_dop = 1)
+    ~model ~env plan =
+  let ctx = make_ctx ~planning_mem ~max_dop ~model ~env () in
   let rec go (p : Plan.t) =
     let keep_mem = p.Plan.mem in
     let rebuilt =

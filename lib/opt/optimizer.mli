@@ -27,6 +27,12 @@ type options = {
       (before the Memory Manager has run).  Finite, so that build-side
       choice and spill risk influence plan selection, as in System R.
       Granted memory (set on plan nodes) always takes precedence. *)
+  max_dop : int;
+  (** maximum degree of parallelism per operator.  Candidate degrees are
+      powers of two up to this cap; each operator gets the cheapest degree
+      under {!Cost_model.parallel_ms} (exchange + startup vs divided
+      work).  1 (the default) disables parallel planning entirely: plans,
+      costs and traces are byte-identical to a serial build. *)
 }
 
 val default_options : options
@@ -50,10 +56,13 @@ val optimize :
     grants*: the result's [total_ms] is the paper's [T_cur-plan,improved]
     when [env] carries observed overrides.  Memory demands are refreshed
     from the new size estimates; granted memory is re-used where positive,
-    otherwise the maximum demand is assumed. *)
+    otherwise the maximum demand is assumed.  [max_dop] lets the re-cost
+    re-choose each operator's degree of parallelism from the improved
+    statistics — the mechanism by which a decision point repairs a skewed
+    partitioning. *)
 val recost :
-  ?planning_mem:int -> model:Sim_clock.model -> env:Stats_env.t -> Plan.t ->
-  Plan.t
+  ?planning_mem:int -> ?max_dop:int -> model:Sim_clock.model ->
+  env:Stats_env.t -> Plan.t -> Plan.t
 
 (** Calibrated worst-case (star join) optimization time for a query with
     [relations] relations — the paper's [T_opt,estimated]. *)

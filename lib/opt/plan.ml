@@ -79,6 +79,12 @@ and t = {
   min_mem : int;
   max_mem : int;
   mutable mem : int;
+  dop : int;
+      (* degree of parallelism: how many partitions the operator splits its
+         work into (1 = serial).  Part of the plan, so it is deterministic
+         and re-chosen on re-optimization; the size of the domain pool that
+         actually runs the partitions is an execution property and never
+         appears in the plan. *)
 }
 
 let children t =
@@ -195,6 +201,7 @@ let rec pp_indented fmt ~indent t =
     (op_name t) t.est.rows t.est.width t.est.op_ms t.est.total_ms;
   if is_memory_consumer t then
     Fmt.pf fmt " mem=%d/%d..%d" t.mem t.min_mem t.max_mem;
+  if t.dop > 1 then Fmt.pf fmt " dop=%d" t.dop;
   (match t.node with
    | Merge_join { left_sorted; right_sorted; _ }
      when left_sorted || right_sorted ->

@@ -92,6 +92,11 @@ and t = {
   min_mem : int;  (** pages *)
   max_mem : int;  (** pages *)
   mutable mem : int;  (** granted pages; meaningful for memory consumers *)
+  dop : int;
+      (** degree of parallelism: partitions the operator splits its work
+          into (1 = serial).  A plan property — deterministic, re-chosen on
+          re-optimization — independent of how many real domains execute
+          the partitions. *)
 }
 
 (** Children in execution order (left/build/outer first). *)

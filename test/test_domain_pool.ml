@@ -1,0 +1,86 @@
+(* The domain pool under the parallel operators: deterministic batch
+   order, exception containment, idempotent shutdown, nested batches. *)
+module Domain_pool = Mqr_exec.Domain_pool
+
+let with_pool size f =
+  let pool = Domain_pool.create ~size () in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) (fun () -> f pool)
+
+let test_results_in_submission_order () =
+  with_pool 3 (fun pool ->
+      let results =
+        Domain_pool.run_all pool
+          (Array.init 64 (fun i () ->
+               (* uneven work so completion order differs from input order *)
+               let n = ref 0 in
+               for _ = 1 to (i mod 7) * 10_000 do incr n done;
+               i * i))
+      in
+      Alcotest.(check (array int)) "input order"
+        (Array.init 64 (fun i -> i * i))
+        results)
+
+let test_exception_rethrown_lowest_index () =
+  with_pool 3 (fun pool ->
+      (match
+         Domain_pool.run_all pool
+           [| (fun () -> 1);
+              (fun () -> failwith "task-1");
+              (fun () -> failwith "task-2");
+              (fun () -> 4) |]
+       with
+       | _ -> Alcotest.fail "batch should raise"
+       | exception Failure m ->
+         Alcotest.(check string) "lowest-indexed exception" "task-1" m);
+      (* a throwing batch must not leak its siblings *)
+      Alcotest.(check int) "no pending tasks" 0 (Domain_pool.pending pool);
+      (* and the pool keeps working afterwards *)
+      let again = Domain_pool.run_all pool [| (fun () -> 7); (fun () -> 8) |] in
+      Alcotest.(check (array int)) "pool survives" [| 7; 8 |] again)
+
+let test_shutdown_idempotent_then_inline () =
+  let pool = Domain_pool.create ~size:4 () in
+  Alcotest.(check bool) "not shut down" false (Domain_pool.is_shutdown pool);
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool;
+  Alcotest.(check bool) "shut down" true (Domain_pool.is_shutdown pool);
+  (* batches after shutdown still run (inline) with the same semantics *)
+  let r = Domain_pool.run_all pool (Array.init 5 (fun i () -> i + 1)) in
+  Alcotest.(check (array int)) "inline after shutdown" [| 1; 2; 3; 4; 5 |] r
+
+let test_size_one_runs_inline () =
+  with_pool 1 (fun pool ->
+      Alcotest.(check int) "size" 1 (Domain_pool.size pool);
+      let d0 = (Domain.self () :> int) in
+      let r =
+        Domain_pool.run_all pool [| (fun () -> (Domain.self () :> int)) |]
+      in
+      Alcotest.(check (array int)) "ran on the caller" [| d0 |] r)
+
+let test_nested_batches_run_inline () =
+  with_pool 3 (fun pool ->
+      let r =
+        Domain_pool.run_all pool
+          (Array.init 4 (fun i () ->
+               (* a worker submitting a batch must not deadlock: nested
+                  batches run inline on the worker *)
+               let inner =
+                 Domain_pool.run_all pool
+                   (Array.init 3 (fun j () -> (i * 10) + j))
+               in
+               Array.fold_left ( + ) 0 inner))
+      in
+      Alcotest.(check (array int)) "nested sums"
+        [| 3; 33; 63; 93 |] r;
+      Alcotest.(check int) "drained" 0 (Domain_pool.pending pool))
+
+let suite =
+  [ Alcotest.test_case "results in submission order" `Quick
+      test_results_in_submission_order;
+    Alcotest.test_case "exception rethrown, no leaks" `Quick
+      test_exception_rethrown_lowest_index;
+    Alcotest.test_case "shutdown idempotent, then inline" `Quick
+      test_shutdown_idempotent_then_inline;
+    Alcotest.test_case "size one runs inline" `Quick test_size_one_runs_inline;
+    Alcotest.test_case "nested batches run inline" `Quick
+      test_nested_batches_run_inline ]

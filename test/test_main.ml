@@ -17,6 +17,8 @@ let () =
       ("more", Test_more.suite);
       ("persist", Test_persist.suite);
       ("parallel", Test_parallel.suite);
+      ("domain_pool", Test_domain_pool.suite);
+      ("pardet", Test_pardet.suite);
       ("tpcd", Test_tpcd.suite);
       ("wlm", Test_wlm.suite);
       ("rf", Test_rf.suite);

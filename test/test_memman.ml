@@ -11,7 +11,8 @@ let mk_node ?(min_mem = 0) ?(max_mem = 0) id node =
     est = { Plan.rows = 1.0; width = 8.0; op_ms = 1.0; total_ms = 1.0 };
     min_mem;
     max_mem;
-    mem = 0 }
+    mem = 0;
+    dop = 1 }
 
 let scan id = mk_node id (Plan.Seq_scan { table = "t"; alias = "t"; filter = None })
 

@@ -128,7 +128,9 @@ let test_partition_by_covers_all_rows () =
 
 let test_round_robin_balanced () =
   let rows = rows_of (List.init 1000 (fun i -> (i, i))) in
-  let parts = Parallel.partition_round_robin (Parallel.make ~degree:4 ()) rows in
+  let parts =
+    Parallel.partition_round_robin (ctx ()) (Parallel.make ~degree:4 ()) rows
+  in
   Array.iter
     (fun p -> Alcotest.(check int) "even split" 250 (Array.length p))
     parts

@@ -43,7 +43,7 @@ let ctx ?budget_pages ?mu () = Verifier.context ?budget_pages ?mu (catalog ())
 let next_id = ref 0
 
 let mk ?(rows = 10.0) ?(op = 1.0) ?(min_mem = 0) ?(max_mem = 0) ?(mem = 0)
-    schema node =
+    ?(dop = 1) schema node =
   incr next_id;
   let children_total =
     List.fold_left
@@ -51,7 +51,8 @@ let mk ?(rows = 10.0) ?(op = 1.0) ?(min_mem = 0) ?(max_mem = 0) ?(mem = 0)
       0.0
       (Plan.children
          { Plan.id = 0; node; schema; est = { Plan.rows; width = 8.0;
-           op_ms = 0.0; total_ms = 0.0 }; min_mem = 0; max_mem = 0; mem = 0 })
+           op_ms = 0.0; total_ms = 0.0 }; min_mem = 0; max_mem = 0; mem = 0;
+           dop = 1 })
   in
   { Plan.id = !next_id;
     node;
@@ -60,7 +61,8 @@ let mk ?(rows = 10.0) ?(op = 1.0) ?(min_mem = 0) ?(max_mem = 0) ?(mem = 0)
             total_ms = op +. children_total };
     min_mem;
     max_mem;
-    mem }
+    mem;
+    dop }
 
 let table_schema c name =
   Schema.qualify
