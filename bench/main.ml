@@ -560,6 +560,83 @@ let sanitize () =
   else Fmt.pr "@.** %d sanitizer mismatches **@." !mismatches
 
 (* ------------------------------------------------------------------ *)
+(* Bound-checked re-optimization: estimate-based plan switching versus
+   switching gated on provable cost intervals.  Bound-checked mode only
+   admits a candidate whose worst-case remaining cost (upper bound of the
+   cardinality-bound analysis) beats the current plan's best-case
+   remaining cost, so a switch can never lose to estimation error: any
+   regression an estimate-based mode shows against memory-only must
+   disappear (Q5), while a switch whose margin is provable survives
+   (Q7).  The inverse price also shows: a genuinely winning switch whose
+   margin is *not* provable is forgone, and the replan-and-check
+   overhead at vetoed decision points is still paid (Q8 lands behind
+   memory-only).  The whole scenario runs under the sanitizer, so every
+   observed cardinality is also cross-checked against its provable
+   interval (BND-OBSERVED is a hard error).                            *)
+
+let bounds_scenario () =
+  header
+    (Fmt.str
+       "Bound-checked switching - estimate-based vs guaranteed-win plan \
+        switches (sf=%g, budget=%d pages)"
+       sf budget_pages);
+  let catalog = Workload.experiment_catalog ~sf () in
+  let engine =
+    Engine.create ~budget_pages ~pool_pages
+      ~verify_plans:Mqr_analysis.Verifier.Sanitize catalog
+  in
+  Fmt.pr "%-5s %-8s | %10s %12s %12s %12s %13s  %s@." "query" "class" "normal"
+    "mem-only" "plan-only" "full" "bound-checked" "identical";
+  let interesting =
+    List.filter
+      (fun (q : Queries.query) -> q.Queries.klass <> Queries.Simple)
+      Queries.all
+  in
+  let mismatches = ref 0 in
+  List.iter
+    (fun (q : Queries.query) ->
+       let scenario = "bounds/" ^ q.Queries.name in
+       let run mode = time_r ~scenario engine mode q in
+       let normal = run Dispatcher.Off in
+       let mem = run Dispatcher.Memory_only in
+       let plan = run Dispatcher.Plan_only in
+       let full = run Dispatcher.Full in
+       let bc = run Dispatcher.Bound_checked in
+       (* a vetoed or admitted switch must never change the answer; a
+          switch re-orders float aggregation, so compare rendered rows
+          (%.4f) as multisets rather than raw bit patterns *)
+       let canon (r : Dispatcher.report) =
+         List.sort compare
+           (Array.to_list
+              (Array.map (Fmt.str "%a" Mqr_storage.Tuple.pp)
+                 r.Dispatcher.rows))
+       in
+       let identical =
+         canon bc = canon normal
+         && canon full = canon normal
+         && canon plan = canon normal
+         && canon mem = canon normal
+       in
+       if not identical then incr mismatches;
+       Fmt.pr "%-5s %-8s | %10.1f %12.1f %12.1f %12.1f %13.1f  %s@."
+         q.Queries.name
+         (Queries.klass_to_string q.Queries.klass)
+         normal.Dispatcher.elapsed_ms mem.Dispatcher.elapsed_ms
+         plan.Dispatcher.elapsed_ms full.Dispatcher.elapsed_ms
+         bc.Dispatcher.elapsed_ms
+         (if identical then "yes" else "** MISMATCH **"))
+    interesting;
+  if !mismatches = 0 then
+    Fmt.pr
+      "@.Bound-checked switching admits only switches that are provable \
+       wins under the cost@.model: estimate-based regressions against \
+       memory-only disappear, unprovable wins@.are forgone (and their \
+       replanning overhead still paid), every mode returns the@.same \
+       rows, and the sanitizer observed zero out-of-interval \
+       cardinalities.@."
+  else Fmt.pr "@.** %d result mismatches **@." !mismatches
+
+(* ------------------------------------------------------------------ *)
 (* Tracing overhead: the observability subsystem (operator spans,
    decision-point audit ledger, metrics) is pure observation — it never
    charges the simulated clock, so a traced run must produce byte-
@@ -769,6 +846,7 @@ let () =
    | "rf" -> runtime_filters ()
    | "wlm" -> wlm ()
    | "sanitize" -> sanitize ()
+   | "bounds" -> bounds_scenario ()
    | "trace" -> trace_scenario ()
    | "parallel" -> parallel_scenario ()
    | "micro" -> micro ()
@@ -790,13 +868,14 @@ let () =
      runtime_filters ();
      wlm ();
      sanitize ();
+     bounds_scenario ();
      trace_scenario ();
      parallel_scenario ();
      micro ()
    | other ->
      Fmt.epr
        "unknown experiment %S (f10 f11 f12 xfig3 sens overhead joins hist \
-        hybrid scale rf wlm sanitize trace micro all)@."
+        hybrid scale rf wlm sanitize bounds trace micro all)@."
        other;
      exit 1)
     which;

@@ -33,9 +33,13 @@ let budget_arg =
 let mode_arg =
   let modes =
     [ ("off", Dispatcher.Off); ("memory", Dispatcher.Memory_only);
-      ("plan", Dispatcher.Plan_only); ("full", Dispatcher.Full) ]
+      ("plan", Dispatcher.Plan_only); ("full", Dispatcher.Full);
+      ("bound-checked", Dispatcher.Bound_checked) ]
   in
-  let doc = "Re-optimization mode: off, memory, plan, or full." in
+  let doc = "Re-optimization mode: off, memory, plan, full, or \
+             bound-checked (full, but a switch must provably win: the \
+             candidate's worst-case cost bound must beat the current \
+             plan's best-case bound)." in
   Arg.(value & opt (enum modes) Dispatcher.Full & info [ "mode" ] ~doc)
 
 let verbose_arg =
@@ -193,13 +197,56 @@ let explain_cmd =
     Term.(const action $ query_arg $ sf_arg $ skew_arg $ budget_arg
           $ pristine_arg $ rf_arg $ explain_verify_arg)
 
+(* Machine-readable lint output.  Hand-rolled serialization (no JSON
+   dependency in the image); diagnostics are emitted in the stable
+   [Diagnostic.compare] order, queries in argument order, so the output
+   is diffable across runs. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\t' -> Buffer.add_string b "\\t"
+       | '\r' -> Buffer.add_string b "\\r"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_of_diag (d : Diagnostic.t) =
+  Printf.sprintf
+    "{\"code\":\"%s\",\"severity\":\"%s\",\"pass\":\"%s\",\"node_id\":%d,\
+     \"path\":[%s],\"message\":\"%s\"%s}"
+    (json_escape d.Diagnostic.code)
+    (Diagnostic.severity_to_string d.Diagnostic.severity)
+    (json_escape d.Diagnostic.pass_name)
+    d.Diagnostic.node_id
+    (String.concat ","
+       (List.map
+          (fun p -> Printf.sprintf "\"%s\"" (json_escape p))
+          d.Diagnostic.path))
+    (json_escape d.Diagnostic.message)
+    (match d.Diagnostic.hint with
+     | None -> ""
+     | Some h -> Printf.sprintf ",\"hint\":\"%s\"" (json_escape h))
+
 let lint_cmd =
   let queries_arg =
     let doc = "Queries to lint (benchmark names like Q5, or SQL text); \
                defaults to every benchmark query." in
     Arg.(value & pos_all string [] & info [] ~docv:"QUERY" ~doc)
   in
-  let action queries sf skew budget mode pristine runtime_filters =
+  let json_arg =
+    let doc = "Emit machine-readable JSON (one object per query with its \
+               diagnostics in stable order) instead of text.  The exit \
+               code is unchanged: non-zero iff any error-severity finding." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let action queries sf skew budget mode pristine runtime_filters json =
     friendly @@ fun () ->
     let engine = make_engine ~runtime_filters ~sf ~skew ~budget ~pristine () in
     let queries =
@@ -208,21 +255,36 @@ let lint_cmd =
       | qs -> qs
     in
     let error_count = ref 0 in
+    let json_objs = ref [] in
     List.iter
       (fun q ->
          let _plan, diags = Engine.lint engine ~mode (resolve_sql q) in
+         let diags = List.stable_sort Diagnostic.compare diags in
          let errs = Diagnostic.errors diags in
          let warns = Diagnostic.warnings diags in
          error_count := !error_count + List.length errs;
-         Fmt.pr "%s [%s]: %s (%d error(s), %d warning(s))@." q
-           (Dispatcher.mode_to_string mode)
-           (if errs = [] then "ok" else "FAILED")
-           (List.length errs) (List.length warns);
-         List.iter (fun d -> Fmt.pr "  %a@." Diagnostic.pp d)
-           (List.stable_sort Diagnostic.compare diags))
+         if json then
+           json_objs :=
+             Printf.sprintf
+               "{\"query\":\"%s\",\"mode\":\"%s\",\"errors\":%d,\
+                \"warnings\":%d,\"diagnostics\":[%s]}"
+               (json_escape q)
+               (Dispatcher.mode_to_string mode)
+               (List.length errs) (List.length warns)
+               (String.concat "," (List.map json_of_diag diags))
+             :: !json_objs
+         else begin
+           Fmt.pr "%s [%s]: %s (%d error(s), %d warning(s))@." q
+             (Dispatcher.mode_to_string mode)
+             (if errs = [] then "ok" else "FAILED")
+             (List.length errs) (List.length warns);
+           List.iter (fun d -> Fmt.pr "  %a@." Diagnostic.pp d) diags
+         end)
       queries;
+    if json then
+      Fmt.pr "[%s]@." (String.concat "," (List.rev !json_objs));
     if !error_count > 0 then begin
-      Fmt.epr "lint: %d error(s)@." !error_count;
+      if not json then Fmt.epr "lint: %d error(s)@." !error_count;
       exit 1
     end
   in
@@ -233,11 +295,11 @@ let lint_cmd =
          plan exactly as the dispatcher would (instrumented with \
          statistics collectors unless --mode off) and run the analysis \
          passes (schema dataflow, annotation lints, SCIA legality, \
-         resource/lifetime checks)."
+         resource/lifetime checks, parallel shape, cardinality bounds)."
   in
   Cmd.v info
     Term.(const action $ queries_arg $ sf_arg $ skew_arg $ budget_arg
-          $ mode_arg $ pristine_arg $ rf_arg)
+          $ mode_arg $ pristine_arg $ rf_arg $ json_arg)
 
 let repl_cmd =
   let action sf skew budget pristine =
@@ -245,7 +307,7 @@ let repl_cmd =
     let mode = ref Dispatcher.Full in
     Fmt.pr "mqr repl over a generated TPC-D catalog (sf=%g).@." sf;
     Fmt.pr
-      "Commands: SQL statements, \\explain <sql>, \\analyze <table>, \\mode off|memory|plan|full, \\tables, \\q@.";
+      "Commands: SQL statements, \\explain <sql>, \\analyze <table>, \\mode off|memory|plan|full|bound-checked, \\tables, \\q@.";
     let rec loop () =
       Fmt.pr "mqr> %!";
       match In_channel.input_line stdin with
@@ -274,6 +336,7 @@ let repl_cmd =
              | "memory" -> mode := Dispatcher.Memory_only
              | "plan" -> mode := Dispatcher.Plan_only
              | "full" -> mode := Dispatcher.Full
+             | "bound-checked" -> mode := Dispatcher.Bound_checked
              | m -> Fmt.pr "unknown mode %s@." m
            end
            else if String.length line > 9 && String.sub line 0 9 = "\\explain " then

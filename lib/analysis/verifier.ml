@@ -11,13 +11,22 @@ type context = {
   temp_schema : string -> Schema.t option;
   budget_pages : int option;
   mu : float option;
+  bounds : Bounds.env;
 }
 
 let context ?temp_schema ?budget_pages ?mu catalog =
   let temp_schema =
     match temp_schema with Some f -> f | None -> fun _ -> None
   in
-  { base_schema =
+  (* Temp tables inherit sample-based collector statistics: their min/max
+     windows are exact but their bucket/distinct counts are not trusted by
+     the bounds analysis. *)
+  let bounds =
+    Bounds.env ~count_trusted:(fun name -> Option.is_none (temp_schema name))
+      catalog
+  in
+  { bounds;
+    base_schema =
       (fun table ->
          Option.map
            (fun (t : Catalog.table) -> Heap_file.schema t.Catalog.heap)
@@ -733,10 +742,104 @@ let parallel_run _ctx plan =
 let parallel_pass = { pass_name = parallel_pass_name; run = parallel_run }
 
 (* ------------------------------------------------------------------ *)
+(* Pass 6: cardinality-bound abstract interpretation (see {!Bounds}).
+   Estimates are opinions; the intervals are proofs — an estimate outside
+   its provable interval is working from stale or degraded statistics, a
+   worst-case memory demand over the broker budget can spill no matter how
+   the grants fall, and a provably-dominated access path can never win.
+   All three are warnings: degraded statistics are an operating condition
+   this engine is explicitly designed to survive, not a malformed plan.
+   The hard-error counterpart (BND-OBSERVED) lives in the dispatcher's
+   sanitizer, where an observed cardinality outside its interval falsifies
+   the analysis itself. *)
+
+let bounds_pass_name = "bounds"
+
+(* Tolerances mirror [exceeds]: a row of absolute slack plus one part per
+   million, so float noise never trips the comparison. *)
+let bnd_outside (iv : Bounds.interval) est =
+  est > (iv.Bounds.hi *. 1.000001) +. 1.0
+  || est < (iv.Bounds.lo *. 0.999999) -. 1.0
+
+(* Worst-case working-memory demand of a consumer, from the provable upper
+   bound on its build/sort/group input — [None] when the input is unbounded
+   or the operator adapts gracefully (block NL runs in one page). *)
+let worst_case_mem b (p : Plan.t) =
+  let hi_pages (q : Plan.t) =
+    match Bounds.pages b q.Plan.id with
+    | Some iv when Float.is_finite iv.Bounds.hi -> Some iv.Bounds.hi
+    | _ -> None
+  in
+  match p.Plan.node with
+  | Plan.Hash_join { build; _ } ->
+    Option.map
+      (fun bp -> snd (Mqr_opt.Cost_model.hash_join_mem ~build_pages:bp))
+      (hi_pages build)
+  | Plan.Sort { input; _ } ->
+    Option.map
+      (fun dp -> snd (Mqr_opt.Cost_model.sort_mem ~data_pages:dp))
+      (hi_pages input)
+  | Plan.Aggregate { pre_sorted = false; group_by = _ :: _; _ } ->
+    Option.map
+      (fun gp -> snd (Mqr_opt.Cost_model.aggregate_mem ~group_pages:gp))
+      (hi_pages p)
+  | Plan.Merge_join { left; right; left_sorted; right_sorted; _ }
+    when not (left_sorted && right_sorted) ->
+    (match (hi_pages left, hi_pages right) with
+     | Some l, Some r ->
+       Some (snd (Mqr_opt.Cost_model.merge_join_mem ~left_pages:l ~right_pages:r))
+     | _ -> None)
+  | _ -> None
+
+let bounds_run ctx plan =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let b = Bounds.analyze ctx.bounds plan in
+  iter_with_ancestors
+    (fun ~ancestors (p : Plan.t) ->
+       let node_id = p.Plan.id in
+       let path = path_of ~ancestors p in
+       (match Bounds.rows b node_id with
+        | Some iv when bnd_outside iv p.Plan.est.Plan.rows ->
+          add
+            (Diagnostic.warning ~pass:bounds_pass_name ~code:"BND-EST"
+               ~hint:"the optimizer is working from stale or degraded \
+                      statistics; re-run ANALYZE"
+               ~node_id ~path
+               (Fmt.str "estimated %.0f rows outside the provable interval %a"
+                  p.Plan.est.Plan.rows Bounds.pp_interval iv))
+        | _ -> ());
+       (match (ctx.budget_pages, worst_case_mem b p) with
+        | Some budget, Some need when need > budget ->
+          add
+            (Diagnostic.warning ~pass:bounds_pass_name ~code:"BND-MEM"
+               ~hint:"even a full-budget grant can spill; expect extra \
+                      passes at this operator"
+               ~node_id ~path
+               (Fmt.str
+                  "worst-case memory demand of %d pages exceeds the broker \
+                   budget of %d pages"
+                  need budget))
+        | _ -> ());
+       (match Bounds.dominated_scan ctx.bounds ~model:Sim_clock.default_model p with
+        | Some msg ->
+          add
+            (Diagnostic.warning ~pass:bounds_pass_name ~code:"BND-DOM"
+               ~hint:"the access path is provably beaten at any cardinality \
+                      inside the bounds"
+               ~node_id ~path msg)
+        | None -> ()))
+    plan;
+  List.rev !diags
+
+let bounds_pass = { pass_name = bounds_pass_name; run = bounds_run }
+
+(* ------------------------------------------------------------------ *)
 (* Driver.                                                             *)
 
 let all_passes =
-  [ schema_pass; annotation_pass; scia_pass; resource_pass; parallel_pass ]
+  [ schema_pass; annotation_pass; scia_pass; resource_pass; parallel_pass;
+    bounds_pass ]
 
 let verify ?(passes = all_passes) ctx plan =
   List.stable_sort Diagnostic.compare

@@ -11,7 +11,7 @@
     mode) again at every decision point and after every mid-query plan
     switch.
 
-    Five passes ship:
+    Six passes ship:
 
     - {!schema_pass} — infers each operator's output schema bottom-up
       from the catalog (and the temp-table store for re-planned
@@ -33,7 +33,13 @@
     - {!parallel_pass} — degree-of-parallelism annotations are sane:
       every [dop] is at least 1, degrees above 1 only on operators with
       an exchange implementation, per-worker memory shares workable
-      ([PAR-*]). *)
+      ([PAR-*]);
+    - {!bounds_pass} — cardinality-bound abstract interpretation (see
+      {!Bounds}): estimates outside their provable interval, worst-case
+      memory demands over the broker budget, provably-dominated access
+      paths ([BND-*], all warnings — the hard-error counterpart,
+      [BND-OBSERVED], is raised by the dispatcher's sanitizer when an
+      {e observed} cardinality falls outside its interval). *)
 
 open Mqr_storage
 
@@ -53,6 +59,10 @@ type context = {
           materialized *)
   budget_pages : int option;  (** memory-manager budget, when known *)
   mu : float option;  (** collector overhead bound, when known *)
+  bounds : Bounds.env;
+      (** ground-truth environment for the bounds pass; {!context} builds
+          it from the catalog, distrusting bucket/distinct counts of any
+          table [temp_schema] knows (collector-derived statistics) *)
 }
 
 (** Catalog-backed context. [temp_schema] defaults to "no temps". *)
@@ -78,7 +88,13 @@ val resource_pass : pass
     share ([PAR-MEM]). *)
 val parallel_pass : pass
 
-(** The five passes above, in that order. *)
+(** Cardinality-bound abstract interpretation over the plan (warnings:
+    [BND-EST] estimate outside its provable row interval, [BND-MEM]
+    worst-case working memory over the broker budget, [BND-DOM]
+    provably-dominated access-path choice). *)
+val bounds_pass : pass
+
+(** The six passes above, in that order. *)
 val all_passes : pass list
 
 (** Run the passes (default {!all_passes}) and return every finding,

@@ -21,6 +21,7 @@ module Parallel = Mqr_exec.Parallel
 module Domain_pool = Mqr_exec.Domain_pool
 module Verifier = Mqr_analysis.Verifier
 module Diagnostic = Mqr_analysis.Diagnostic
+module Bounds = Mqr_analysis.Bounds
 module Trace = Mqr_obs.Trace
 module Metrics = Mqr_obs.Metrics
 
@@ -28,13 +29,14 @@ let log_src = Logs.Src.create "mqr.dispatcher" ~doc:"Mid-query re-optimization"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type mode = Off | Memory_only | Plan_only | Full
+type mode = Off | Memory_only | Plan_only | Full | Bound_checked
 
 let mode_to_string = function
   | Off -> "off"
   | Memory_only -> "memory-only"
   | Plan_only -> "plan-only"
   | Full -> "full"
+  | Bound_checked -> "bound-checked"
 
 type config = {
   catalog : Catalog.t;
@@ -92,6 +94,11 @@ type event =
       materialize_ms : float;
     }
   | Ev_rejected of { t_new_total : float; t_improved : float }
+  | Ev_bound_check of {
+      new_hi_ms : float;  (* candidate's provable worst-case remaining cost *)
+      cur_lo_ms : float;  (* current plan's provable best-case remaining cost *)
+      admitted : bool;    (* worst case provably beats best case? *)
+    }
   | Ev_sampled of Sampling.probe
   | Ev_parallel of {
       op : string;           (* operator run with an exchange *)
@@ -278,6 +285,15 @@ let trace_event st scope ~ts ev =
   | Ev_rejected { t_new_total; t_improved } ->
     Metrics.incr m "plan.rejected";
     ledger_entry st scope ~ts (Trace.Rejected { t_new_total; t_improved })
+  | Ev_bound_check { new_hi_ms; cur_lo_ms; admitted } ->
+    Metrics.incr m
+      (if admitted then "bounds.admitted" else "bounds.vetoed");
+    Trace.instant scope ~cat:"bounds" ~name:"bound_check"
+      ~args:
+        [ ("new_hi_ms", Trace.Float new_hi_ms);
+          ("cur_lo_ms", Trace.Float cur_lo_ms);
+          ("admitted", Trace.Str (if admitted then "true" else "false")) ]
+      ~ts_ms:ts ()
   | Ev_sampled p ->
     Metrics.incr m "sampling.probes";
     Trace.instant scope ~cat:"sampling" ~name:("probe:" ^ p.Sampling.alias)
@@ -411,6 +427,45 @@ let assert_filters_retired st ~what =
                     "%d worker pool-slice pages still leased at a decision \
                      point"
                     st.worker_pages) ] })
+
+(* Ground-truth environment for the bounds analysis: bucket/distinct
+   counts of temp tables are sample-derived (inherited from a reservoir
+   collector) and therefore not trusted; base-table counts are. *)
+let bounds_env st =
+  Bounds.env ~count_trusted:(fun name -> not (Hashtbl.mem st.store name))
+    st.cfg.catalog
+
+(* The sanitizer's dynamic half of the bounds pass: every cardinality the
+   executor just observed must lie inside its provable interval.  The
+   analysis claims soundness, so any violation is a hard error, not a
+   warning.  [subtree] limits the check to the nodes that actually ran in
+   this unit — after a plan switch, retired node ids may collide with
+   renumbered ones, so only just-executed ids are compared. *)
+let assert_observed_bounds st ~what subtree =
+  let a = Bounds.analyze (bounds_env st) st.current in
+  let diags =
+    List.filter_map
+      (fun (n : Plan.t) ->
+         match
+           (Hashtbl.find_opt st.actuals n.Plan.id, Bounds.rows a n.Plan.id)
+         with
+         | Some obs, Some iv
+           when not (Bounds.contains iv (float_of_int obs)) ->
+           Some
+             (Diagnostic.error ~pass:"bounds" ~code:"BND-OBSERVED"
+                ~hint:
+                  "a statistic the analysis trusted is wrong, or the \
+                   analysis itself is unsound"
+                ~node_id:n.Plan.id
+                ~path:[ Plan.op_name n ]
+                (Printf.sprintf
+                   "%s produced %d rows, outside its provable interval %s"
+                   (Plan.op_name n) obs
+                   (Fmt.str "%a" Bounds.pp_interval iv)))
+         | _ -> None)
+      (Plan.nodes subtree)
+  in
+  if diags <> [] then raise (Verifier.Rejected { what; diags })
 
 (* ------------------------------------------------------------------ *)
 (* Executing plan nodes.                                               *)
@@ -1109,7 +1164,39 @@ let try_replan ?(force = false) st =
        let materialize_ms = pending_materialize_ms st st.current in
        (* reading the temp back is already in the new plan's scan costs *)
        let t_new_total = new_plan.Plan.est.Plan.total_ms +. materialize_ms in
-       if Reopt_policy.accept_new_plan ~t_new_total ~t_improved then begin
+       (* Bound-checked mode: on top of the estimate-based test, the
+          candidate's provable worst-case remaining cost (collection
+          overhead and the pending materialization included) must beat the
+          current plan's provable best-case remaining cost — a switch is
+          admitted only when it provably cannot lose. *)
+       let bound_admitted =
+         match st.cfg.mode with
+         | Bound_checked ->
+           let benv = bounds_env st in
+           let max_dop = st.cfg.opt_options.Optimizer.max_dop in
+           let cand =
+             Bounds.cost_interval benv ~model:st.cfg.model ~max_dop new_plan
+           in
+           let cur =
+             Bounds.cost_interval benv ~model:st.cfg.model ~max_dop st.current
+           in
+           let new_hi_ms =
+             (cand.Bounds.hi *. (1.0 +. st.cfg.params.Reopt_policy.mu))
+             +. materialize_ms
+           in
+           let admitted =
+             Reopt_policy.accept_bound_checked ~new_hi_ms
+               ~cur_lo_ms:cur.Bounds.lo
+           in
+           emit st
+             (Ev_bound_check
+                { new_hi_ms; cur_lo_ms = cur.Bounds.lo; admitted });
+           admitted
+         | Off | Memory_only | Plan_only | Full -> true
+       in
+       if Reopt_policy.accept_new_plan ~t_new_total ~t_improved
+       && bound_admitted
+       then begin
          (* Switch: pay the writes, renumber the new plan's ids into our
             space, adopt its annotations as the new baseline. *)
          ignore (charge_materialization st st.current);
@@ -1162,9 +1249,12 @@ let decision_point st =
      if Plan.join_count st.current >= 1
      && st.switches < st.cfg.params.Reopt_policy.max_switches
      then try_replan ~force st
-   | Full ->
+   | Full | Bound_checked ->
      (* Re-allocation is free, so apply it first; a plan switch must then
-        beat the re-allocated current plan, not the starved one. *)
+        beat the re-allocated current plan, not the starved one.
+        Bound-checked behaves like Full except that try_replan additionally
+        requires the candidate's provable worst case to beat the current
+        plan's provable best case. *)
      reallocate st;
      if Plan.join_count st.current >= 1
      && st.switches < st.cfg.params.Reopt_policy.max_switches
@@ -1319,6 +1409,11 @@ let step r =
             { op = Plan.op_name j;
               est_rows = j.Plan.est.Plan.rows;
               actual_rows = Array.length rows });
+       (* st.current still contains [j]: check the observed cardinalities
+          of the just-executed subtree against their provable intervals
+          before the unit is folded into a Materialized leaf. *)
+       if st.cfg.verify = Verifier.Sanitize then
+         assert_observed_bounds st ~what:"executed unit" j;
        let name = fresh_temp_name st in
        register_temp st ~name ~rows ~schema;
        let leaf =
@@ -1358,8 +1453,10 @@ let step r =
        let rows, result_schema = exec_node st st.current in
        span_close st utok
          ~args:[ ("rows", Trace.Int (Array.length rows)) ];
-       if st.cfg.verify = Verifier.Sanitize then
+       if st.cfg.verify = Verifier.Sanitize then begin
          assert_filters_retired st ~what:"query completion";
+         assert_observed_bounds st ~what:"query completion" st.current
+       end;
        (* Drop temp tables so the engine can be reused. *)
        List.iter (Catalog.drop_table st.cfg.catalog) st.temp_names;
        let elapsed = Sim_clock.elapsed_ms st.ctx.Exec_ctx.clock in
@@ -1509,6 +1606,11 @@ let pp_event fmt = function
   | Ev_rejected { t_new_total; t_improved } ->
     Fmt.pf fmt "new plan rejected: T_new=%.1fms >= T_improved=%.1fms"
       t_new_total t_improved
+  | Ev_bound_check { new_hi_ms; cur_lo_ms; admitted } ->
+    Fmt.pf fmt "bound check: new_hi=%.1fms %s cur_lo=%.1fms (%s)" new_hi_ms
+      (if admitted then "<" else ">=")
+      cur_lo_ms
+      (if admitted then "admitted" else "vetoed")
   | Ev_sampled probe -> Sampling.pp_probe fmt probe
   | Ev_parallel { op; dop; want_pages; got_pages; max_worker_ms; avg_worker_ms }
     ->

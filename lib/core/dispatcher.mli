@@ -25,6 +25,13 @@ type mode =
   | Memory_only   (** improved estimates only drive memory re-allocation *)
   | Plan_only     (** improved estimates only drive plan modification *)
   | Full
+  | Bound_checked
+      (** [Full], but a plan switch is additionally admitted only when the
+          candidate's provable worst-case remaining cost (upper bound of
+          {!Mqr_analysis.Bounds.cost_interval}, collection overhead and
+          materialization included) beats the current plan's provable
+          best-case remaining cost — switching cannot lose to estimation
+          error ({!Reopt_policy.accept_bound_checked}) *)
 
 val mode_to_string : mode -> string
 
@@ -94,6 +101,13 @@ type event =
       materialize_ms : float;
     }
   | Ev_rejected of { t_new_total : float; t_improved : float }
+  | Ev_bound_check of {
+      new_hi_ms : float;
+          (** candidate's provable worst-case remaining cost *)
+      cur_lo_ms : float;
+          (** current plan's provable best-case remaining cost *)
+      admitted : bool;  (** the worst case provably beats the best case *)
+    }  (** emitted at every bound-checked switch consideration *)
   | Ev_sampled of Sampling.probe
   | Ev_parallel of {
       op : string;           (** operator executed with an exchange *)

@@ -168,11 +168,15 @@ let join_sel ctx ~keys ~extra =
    values.  Unknown distincts yield 1.0: the filter still runs (its
    observed selectivity is the point) but earns no cost credit.  A
    build-side estimate of under one row is a statistics failure rather
-   than a one-distinct-value build — it is clamped to one row so the
-   containment ratio stays finite and sane (the plan verifier flags the
-   degenerate estimate as RF-DEGEN). *)
+   than a one-distinct-value build; it also earns no credit — crediting
+   min(distinct, 1)/distinct(probe) would hand the deepest discount to
+   exactly the joins whose estimates are garbage, letting the optimizer
+   flip a mis-estimated subtree onto the build side on the strength of a
+   filter it cannot predict (the plan verifier flags the degenerate
+   estimate as RF-DEGEN). *)
 let rf_est_sel ctx ~build_rows ~build_col ~probe_col =
-  let build_rows = Float.max 1.0 build_rows in
+  if build_rows < 1.0 then 1.0
+  else
   match
     ( Selectivity.distinct_of_column ctx.sel_env build_col,
       Selectivity.distinct_of_column ctx.sel_env probe_col )

@@ -240,7 +240,8 @@ let integration_queries =
     "select count(distinct ufk) as d, sum(distinct uval) as s from u" ]
 
 let modes =
-  [ Dispatcher.Off; Dispatcher.Memory_only; Dispatcher.Plan_only; Dispatcher.Full ]
+  [ Dispatcher.Off; Dispatcher.Memory_only; Dispatcher.Plan_only;
+    Dispatcher.Full; Dispatcher.Bound_checked ]
 
 let test_engine_matches_reference () =
   let catalog = mini_catalog () in

@@ -120,7 +120,7 @@ let gen_query =
 
 let modes =
   [ Dispatcher.Off; Dispatcher.Memory_only; Dispatcher.Plan_only;
-    Dispatcher.Full ]
+    Dispatcher.Full; Dispatcher.Bound_checked ]
 
 (* Every generated ORDER BY ... LIMIT query sorts on exactly its output
    columns, so tie-breaking differences between the engine and the
@@ -165,6 +165,47 @@ let prop_modes_agree_under_budgets =
             | Some c0 -> c = c0)
          [ 4; 32; 512 ])
 
+(* Every run under the sanitizer cross-checks each executed node's
+   observed cardinality against its provable interval (BND-OBSERVED is a
+   hard error raised as [Verifier.Rejected]), so completing at all — in
+   every mode, with and without runtime filters, serial and parallel —
+   is the soundness assertion; matching the reference rows rides along. *)
+let prop_observed_within_bounds =
+  QCheck.Test.make ~name:"observed cardinalities stay inside provable bounds"
+    ~count:25
+    (QCheck.make ~print:(fun s -> s) gen_query)
+    (fun sql ->
+       let catalog = Lazy.force catalog in
+       let expect_c =
+         let engine = Engine.create ~budget_pages:16 catalog in
+         let q = Engine.bind_sql engine sql in
+         Reference.canonical (fst (Reference.run catalog q))
+       in
+       List.for_all
+         (fun (rf, pool) ->
+            let engine =
+              Engine.create ~budget_pages:16 ~runtime_filters:rf
+                ~verify_plans:Mqr_analysis.Verifier.Sanitize ~parallel:pool
+                catalog
+            in
+            let ok =
+              List.for_all
+                (fun mode ->
+                   match Engine.run_sql engine ~mode sql with
+                   | r -> Reference.canonical r.Dispatcher.rows = expect_c
+                   | exception Mqr_analysis.Verifier.Rejected { what; diags } ->
+                     QCheck.Test.fail_reportf
+                       "sanitizer rejected %s [%s] at %s: %d diagnostic(s)"
+                       sql
+                       (Dispatcher.mode_to_string mode)
+                       what (List.length diags))
+                modes
+            in
+            Engine.shutdown engine;
+            ok)
+         [ (false, 1); (true, 1); (true, 4) ])
+
 let suite =
   [ QCheck_alcotest.to_alcotest prop_engine_matches_reference;
-    QCheck_alcotest.to_alcotest prop_modes_agree_under_budgets ]
+    QCheck_alcotest.to_alcotest prop_modes_agree_under_budgets;
+    QCheck_alcotest.to_alcotest prop_observed_within_bounds ]

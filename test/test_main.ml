@@ -23,4 +23,5 @@ let () =
       ("wlm", Test_wlm.suite);
       ("rf", Test_rf.suite);
       ("verify", Test_verify.suite);
+      ("bounds", Test_bounds.suite);
       ("obs", Test_obs.suite) ]
