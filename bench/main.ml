@@ -77,6 +77,16 @@ let emit_json () =
 
 let pct_improvement ~normal ~reopt = 100.0 *. (normal -. reopt) /. normal
 
+(* wall-clock timings are noisy: measured scenarios repeat each run and
+   report min (least-interference estimate) and median (typical) *)
+let wall_reps = 3
+
+let min_median xs =
+  match List.sort compare xs with
+  | [] -> (0.0, 0.0)
+  | sorted ->
+    (List.hd sorted, List.nth sorted (List.length sorted / 2))
+
 let hr () = Fmt.pr "%s@." (String.make 78 '-')
 
 let header title =
@@ -717,8 +727,8 @@ let parallel_scenario () =
       Mqr_opt.Optimizer.planning_mem_pages = max 8 (budget_pages / 2);
       max_dop = 4 }
   in
-  Fmt.pr "%-5s | %4s | %12s %12s %9s %10s  %s@." "query" "pool" "sim(ms)"
-    "wall(ms)" "par ops" "peak pages" "identical";
+  Fmt.pr "%-5s | %4s | %12s %12s %12s %9s %10s  %s@." "query" "pool" "sim(ms)"
+    "wall-min(ms)" "wall-med(ms)" "par ops" "peak pages" "identical";
   let mismatches = ref 0 in
   List.iter
     (fun name ->
@@ -726,30 +736,51 @@ let parallel_scenario () =
        let baseline = ref None in
        List.iter
          (fun pool_size ->
-            let engine =
-              Engine.create ~budget_pages ~pool_pages ~opt_options
-                ~parallel:pool_size catalog
+            (* wall-clock noise reduction: repeat the measured run and
+               report min and median; the simulation is single-shot (it
+               is bit-identical across repetitions, which rep 2+ assert) *)
+            let runs =
+              List.init wall_reps (fun _ ->
+                  let engine =
+                    Engine.create ~budget_pages ~pool_pages ~opt_options
+                      ~parallel:pool_size catalog
+                  in
+                  let t0 = Unix.gettimeofday () in
+                  let r =
+                    Engine.run_sql engine ~mode:Dispatcher.Full q.Queries.sql
+                  in
+                  let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+                  Engine.shutdown engine;
+                  (r, wall_ms))
             in
-            let t0 = Unix.gettimeofday () in
-            let r =
-              Engine.run_sql engine ~mode:Dispatcher.Full q.Queries.sql
+            let r = fst (List.hd runs) in
+            let rep_stable =
+              List.for_all
+                (fun ((r' : Dispatcher.report), _) ->
+                   r'.Dispatcher.rows = r.Dispatcher.rows
+                   && r'.Dispatcher.elapsed_ms = r.Dispatcher.elapsed_ms)
+                (List.tl runs)
             in
-            let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
-            Engine.shutdown engine;
+            let wall_min, wall_med = min_median (List.map snd runs) in
             let scenario = Fmt.str "parallel/%s/pool=%d" name pool_size in
             record ~scenario ~mode:"sim" ~elapsed_ms:r.Dispatcher.elapsed_ms
               ~switches:r.Dispatcher.switches
               ~collectors:r.Dispatcher.collectors;
-            record ~scenario ~mode:"wall" ~elapsed_ms:wall_ms
+            record ~scenario ~mode:"wall-min" ~elapsed_ms:wall_min
+              ~switches:r.Dispatcher.switches
+              ~collectors:r.Dispatcher.collectors;
+            record ~scenario ~mode:"wall-median" ~elapsed_ms:wall_med
               ~switches:r.Dispatcher.switches
               ~collectors:r.Dispatcher.collectors;
             let identical =
-              match !baseline with
-              | None ->
-                baseline := Some (r.Dispatcher.rows, r.Dispatcher.elapsed_ms);
-                true
-              | Some (rows, sim) ->
-                rows = r.Dispatcher.rows && sim = r.Dispatcher.elapsed_ms
+              rep_stable
+              && (match !baseline with
+                 | None ->
+                   baseline :=
+                     Some (r.Dispatcher.rows, r.Dispatcher.elapsed_ms);
+                   true
+                 | Some (rows, sim) ->
+                   rows = r.Dispatcher.rows && sim = r.Dispatcher.elapsed_ms)
             in
             if not identical then incr mismatches;
             let par_ops =
@@ -758,8 +789,8 @@ let parallel_scenario () =
                    (function Dispatcher.Ev_parallel _ -> true | _ -> false)
                    r.Dispatcher.events)
             in
-            Fmt.pr "%-5s | %4d | %12.1f %12.1f %9d %10d  %s@." name pool_size
-              r.Dispatcher.elapsed_ms wall_ms par_ops
+            Fmt.pr "%-5s | %4d | %12.1f %12.1f %12.1f %9d %10d  %s@." name
+              pool_size r.Dispatcher.elapsed_ms wall_min wall_med par_ops
               r.Dispatcher.worker_pages_peak
               (if identical then "yes" else "** MISMATCH **"))
          [ 1; 2; 4; 8 ])
@@ -771,6 +802,215 @@ let parallel_scenario () =
        by the optimizer@.and charged to the simulated clock; the domains \
        only move wall-clock time.@."
   else Fmt.pr "@.** %d parallel mismatches **@." !mismatches
+
+(* ------------------------------------------------------------------ *)
+(* Query service: mixed interactive + batch tenants on one engine.  A
+   web tenant (interactive SLO) and an etl tenant (batch SLO) share the
+   broker and the domain pool; the batch tenant's join-heavy statements
+   arrive first and hold the machine.  Round-robin is the PR 1 baseline
+   (FIFO admission, global broker); slo-aware adds EDF admission over
+   deadlines plus per-tenant fair-share memory floors, and must pull the
+   interactive p99 down without changing a single result row.  Rows are
+   checked byte-identical against solo executions, the simulation must be
+   bit-identical across repetitions and pool sizes, and the sanitizer
+   asserts per-tenant transient pages are zero at every decision point. *)
+
+let service_scenario () =
+  let module Service = Mqr_wlm.Service in
+  let module Session = Mqr_wlm.Session in
+  header
+    (Fmt.str
+       "Query service - web (interactive) + etl (batch) tenants, \
+        round-robin vs slo-aware, pools 1/4/8 (sf=%g, budget=%d pages, \
+        sanitize on)"
+       sf budget_pages);
+  let catalog = Workload.experiment_catalog ~sf () in
+  let opt_options =
+    { Mqr_opt.Optimizer.default_options with
+      Mqr_opt.Optimizer.planning_mem_pages = max 8 (budget_pages / 2);
+      max_dop = 4 }
+  in
+  (* (tenant, query, arrival ms): the batch statements land first and
+     occupy the machine; interactive statements trickle in behind them *)
+  let arrivals =
+    [ ("etl", "Q5", 0.0); ("etl", "Q7", 0.0); ("etl", "Q10", 20.0);
+      ("etl", "Q8", 30.0); ("web", "Q3", 5.0); ("web", "Q6", 10.0);
+      ("web", "Q1", 40.0); ("web", "Q6", 120.0); ("web", "Q3", 250.0);
+      ("web", "Q1", 500.0); ("web", "Q6", 900.0); ("web", "Q3", 1500.0) ]
+  in
+  let arrivals =
+    List.stable_sort (fun (_, _, a) (_, _, b) -> compare a b) arrivals
+  in
+  let render (rows : Mqr_storage.Tuple.t array) =
+    Array.to_list (Array.map (Fmt.str "%a" Mqr_storage.Tuple.pp) rows)
+  in
+  (* solo baseline: each distinct query alone on an otherwise idle
+     engine — the service must return exactly these rows per statement *)
+  let solo = Hashtbl.create 8 in
+  List.iter
+    (fun (_, name, _) ->
+       if not (Hashtbl.mem solo name) then begin
+         let engine =
+           Engine.create ~budget_pages ~pool_pages ~opt_options catalog
+         in
+         let r = Engine.run_sql engine (Queries.find name).Queries.sql in
+         Engine.shutdown engine;
+         Hashtbl.replace solo name (render r.Dispatcher.rows)
+       end)
+    arrivals;
+  let run_once ~pool ~policy =
+    let engine =
+      Engine.create ~budget_pages ~pool_pages ~opt_options ~parallel:pool
+        ~verify_plans:Mqr_analysis.Verifier.Sanitize catalog
+    in
+    let options =
+      { Service.default_options with
+        Service.policy;
+        max_concurrency = 3;
+        wall_clock = Some Unix.gettimeofday }
+    in
+    let svc = Service.create ~options engine in
+    Service.add_tenant svc ~slo:Session.Interactive "web";
+    Service.add_tenant svc ~slo:Session.Batch "etl";
+    let sessions = Hashtbl.create 2 in
+    Hashtbl.replace sessions "web" (Service.open_session svc ~tenant:"web");
+    Hashtbl.replace sessions "etl" (Service.open_session svc ~tenant:"etl");
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (tenant, name, arrival_ms) ->
+         ignore
+           (Session.submit ~label:name ~arrival_ms
+              (Hashtbl.find sessions tenant)
+              (Queries.find name).Queries.sql))
+      arrivals;
+    Service.drain svc;
+    let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+    let rep = Service.report svc in
+    (* byte-identical rows per statement vs its solo execution *)
+    let rows_ok =
+      List.for_all
+        (fun (s : Session.stmt) ->
+           match s.Session.stmt_status with
+           | Session.Done r ->
+             render r.Dispatcher.rows = Hashtbl.find solo s.Session.stmt_label
+           | _ -> false)
+        rep.Service.statements
+    in
+    Engine.shutdown engine;
+    (rep, wall_ms, rows_ok)
+  in
+  (* the simulated side of a report: everything scheduling could affect;
+     must be bit-identical across repetitions and pool sizes *)
+  let sim_fingerprint (rep : Service.report) =
+    ( rep.Service.makespan_ms,
+      List.map
+        (fun (slo, (c : Service.class_stats)) ->
+           (slo, c.Service.cs_n, c.Service.cs_p50_ms, c.Service.cs_p99_ms,
+            c.Service.cs_violations))
+        rep.Service.classes,
+      List.map
+        (fun (s : Session.stmt) ->
+           (s.Session.stmt_id, s.Session.stmt_admit_ms,
+            s.Session.stmt_finish_ms))
+        rep.Service.statements )
+  in
+  Fmt.pr
+    "%4s %-12s | %10s %9s %9s | %8s %8s | %8s %8s | %4s %5s  %s@." "pool"
+    "policy" "mksp(sim)" "wall-min" "wall-med" "int-p50" "int-p99" "bat-p50"
+    "bat-p99" "viol" "waits" "rows";
+  let mismatches = ref 0 in
+  let p99s = Hashtbl.create 8 in
+  List.iter
+    (fun policy ->
+       let pool1 = ref None in
+       List.iter
+         (fun pool ->
+            let runs =
+              List.init wall_reps (fun _ -> run_once ~pool ~policy)
+            in
+            let rep, _, _ = List.hd runs in
+            let fp = sim_fingerprint rep in
+            let rep_stable =
+              List.for_all
+                (fun (r, _, _) -> sim_fingerprint r = fp)
+                (List.tl runs)
+            in
+            let pool_stable =
+              match !pool1 with
+              | None -> pool1 := Some fp; true
+              | Some fp1 -> fp = fp1
+            in
+            let rows_ok = List.for_all (fun (_, _, ok) -> ok) runs in
+            if not (rep_stable && pool_stable && rows_ok) then
+              incr mismatches;
+            let wall_min, wall_med =
+              min_median (List.map (fun (_, w, _) -> w) runs)
+            in
+            let cls slo = List.assoc slo rep.Service.classes in
+            let int_c = cls Session.Interactive
+            and bat_c = cls Session.Batch in
+            let waits =
+              List.fold_left
+                (fun acc (t : Service.tenant_summary) ->
+                   acc + t.Service.tns_broker_waits)
+                0 rep.Service.tenants
+            in
+            let replans =
+              List.fold_left
+                (fun acc (t : Service.tenant_summary) ->
+                   acc + t.Service.tns_replans)
+                0 rep.Service.tenants
+            in
+            let scenario =
+              Fmt.str "service/pool=%d/%s" pool
+                (Service.policy_to_string policy)
+            in
+            record ~scenario ~mode:"sim-makespan"
+              ~elapsed_ms:rep.Service.makespan_ms ~switches:replans
+              ~collectors:0;
+            record ~scenario ~mode:"wall-makespan-min" ~elapsed_ms:wall_min
+              ~switches:replans ~collectors:0;
+            record ~scenario ~mode:"wall-makespan-median"
+              ~elapsed_ms:wall_med ~switches:replans ~collectors:0;
+            record ~scenario ~mode:"interactive-p50-sim"
+              ~elapsed_ms:int_c.Service.cs_p50_ms ~switches:0 ~collectors:0;
+            record ~scenario ~mode:"interactive-p99-sim"
+              ~elapsed_ms:int_c.Service.cs_p99_ms ~switches:0 ~collectors:0;
+            record ~scenario ~mode:"batch-p99-sim"
+              ~elapsed_ms:bat_c.Service.cs_p99_ms ~switches:0 ~collectors:0;
+            Hashtbl.replace p99s (pool, policy) int_c.Service.cs_p99_ms;
+            Fmt.pr
+              "%4d %-12s | %10.1f %9.1f %9.1f | %8.1f %8.1f | %8.1f %8.1f \
+               | %4d %5d  %s@."
+              pool
+              (Service.policy_to_string policy)
+              rep.Service.makespan_ms wall_min wall_med
+              int_c.Service.cs_p50_ms int_c.Service.cs_p99_ms
+              bat_c.Service.cs_p50_ms bat_c.Service.cs_p99_ms
+              (int_c.Service.cs_violations + bat_c.Service.cs_violations)
+              waits
+              (if rep_stable && pool_stable && rows_ok then "yes"
+               else "** MISMATCH **"))
+         [ 1; 4; 8 ])
+    [ Service.Round_robin; Service.Slo_aware ];
+  List.iter
+    (fun pool ->
+       let rr = Hashtbl.find p99s (pool, Service.Round_robin) in
+       let slo = Hashtbl.find p99s (pool, Service.Slo_aware) in
+       Fmt.pr
+         "pool %d: interactive p99 %10.1f ms (round-robin) -> %10.1f ms \
+          (slo-aware)  %.2fx%s@."
+         pool rr slo (rr /. slo)
+         (if slo < rr then "" else "  ** NO IMPROVEMENT **"))
+    [ 1; 4; 8 ];
+  if !mismatches = 0 then
+    Fmt.pr
+      "@.Scheduling reads only the virtual timeline: simulated makespans, \
+       percentiles and@.per-statement times are bit-identical across \
+       repetitions and pool sizes, every@.statement's rows match its solo \
+       execution byte-for-byte, and the sanitizer saw@.zero per-tenant \
+       transient pages at every decision point.@."
+  else Fmt.pr "@.** %d service mismatches **@." !mismatches
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per figure/table id.       *)
@@ -849,6 +1089,7 @@ let () =
    | "bounds" -> bounds_scenario ()
    | "trace" -> trace_scenario ()
    | "parallel" -> parallel_scenario ()
+   | "service" -> service_scenario ()
    | "micro" -> micro ()
    | "figures" ->
      figure10 ();
@@ -871,11 +1112,13 @@ let () =
      bounds_scenario ();
      trace_scenario ();
      parallel_scenario ();
+     service_scenario ();
      micro ()
    | other ->
      Fmt.epr
        "unknown experiment %S (f10 f11 f12 xfig3 sens overhead joins hist \
-        hybrid scale rf wlm sanitize bounds trace micro all)@."
+        hybrid scale rf wlm sanitize bounds trace parallel service micro \
+        all)@."
        other;
      exit 1)
     which;

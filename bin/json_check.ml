@@ -1,0 +1,233 @@
+(* Smoke-check the machine-readable lint output: parse it with a
+   hand-rolled JSON reader (the image has no JSON library — the emitter
+   in mqr_cli is hand-rolled too, so this closes the loop) and validate
+   the shape: a top-level array of per-query objects, each carrying
+   "query", "mode", "errors", "warnings" and a "diagnostics" array whose
+   members have the code/severity/pass/node_id/path/message fields.
+
+     json_check plan_lint.gen.json *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+(* --- parser ------------------------------------------------------- *)
+
+type cursor = { s : string; mutable i : int }
+
+let peek c = if c.i < String.length c.s then Some c.s.[c.i] else None
+
+let skip_ws c =
+  while
+    c.i < String.length c.s
+    && (match c.s.[c.i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    c.i <- c.i + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.i <- c.i + 1
+  | Some x -> bad "offset %d: expected %c, found %c" c.i ch x
+  | None -> bad "offset %d: expected %c, found end of input" c.i ch
+
+let literal c word value =
+  let n = String.length word in
+  if c.i + n <= String.length c.s && String.sub c.s c.i n = word then begin
+    c.i <- c.i + n;
+    value
+  end
+  else bad "offset %d: expected %s" c.i word
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> bad "offset %d: unterminated string" c.i
+    | Some '"' -> c.i <- c.i + 1
+    | Some '\\' ->
+      c.i <- c.i + 1;
+      (match peek c with
+       | None -> bad "offset %d: unterminated escape" c.i
+       | Some e ->
+         c.i <- c.i + 1;
+         (match e with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+            if c.i + 4 > String.length c.s then
+              bad "offset %d: truncated \\u escape" c.i;
+            let hex = String.sub c.s c.i 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> bad "offset %d: bad \\u escape %s" c.i hex
+            in
+            c.i <- c.i + 4;
+            (* the emitter only escapes control characters, so plain
+               byte append is enough for the round-trip check *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else Buffer.add_string b (Printf.sprintf "\\u%04x" code)
+          | e -> bad "offset %d: bad escape \\%c" c.i e));
+      go ()
+    | Some ch ->
+      c.i <- c.i + 1;
+      Buffer.add_char b ch;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.i in
+  let numchar ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek c with Some ch -> numchar ch | None -> false) do
+    c.i <- c.i + 1
+  done;
+  let text = String.sub c.s start (c.i - start) in
+  match float_of_string_opt text with
+  | Some f -> f
+  | None -> bad "offset %d: bad number %s" start text
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> bad "offset %d: unexpected end of input" c.i
+  | Some '"' -> Str (parse_string c)
+  | Some '{' ->
+    c.i <- c.i + 1;
+    skip_ws c;
+    if peek c = Some '}' then begin c.i <- c.i + 1; Obj [] end
+    else begin
+      let rec members acc =
+        skip_ws c;
+        let key = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' -> c.i <- c.i + 1; members ((key, v) :: acc)
+        | Some '}' -> c.i <- c.i + 1; List.rev ((key, v) :: acc)
+        | _ -> bad "offset %d: expected , or } in object" c.i
+      in
+      Obj (members [])
+    end
+  | Some '[' ->
+    c.i <- c.i + 1;
+    skip_ws c;
+    if peek c = Some ']' then begin c.i <- c.i + 1; Arr [] end
+    else begin
+      let rec elements acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' -> c.i <- c.i + 1; elements (v :: acc)
+        | Some ']' -> c.i <- c.i + 1; List.rev (v :: acc)
+        | _ -> bad "offset %d: expected , or ] in array" c.i
+      in
+      Arr (elements [])
+    end
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> Num (parse_number c)
+
+let parse s =
+  let c = { s; i = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.i <> String.length s then bad "offset %d: trailing garbage" c.i;
+  v
+
+(* --- shape checks -------------------------------------------------- *)
+
+let field obj key =
+  match obj with
+  | Obj kvs ->
+    (match List.assoc_opt key kvs with
+     | Some v -> v
+     | None -> bad "missing field %S" key)
+  | _ -> bad "expected an object around field %S" key
+
+let str what = function Str s -> s | _ -> bad "%s: expected a string" what
+let num what = function Num f -> f | _ -> bad "%s: expected a number" what
+let arr what = function Arr xs -> xs | _ -> bad "%s: expected an array" what
+
+let severities = [ "error"; "warning"; "info" ]
+
+let check_diag d =
+  let code = str "code" (field d "code") in
+  if code = "" then bad "empty diagnostic code";
+  let sev = str "severity" (field d "severity") in
+  if not (List.mem sev severities) then bad "unknown severity %S" sev;
+  ignore (str "pass" (field d "pass"));
+  ignore (num "node_id" (field d "node_id"));
+  List.iter (fun p -> ignore (str "path element" p)) (arr "path" (field d "path"));
+  ignore (str "message" (field d "message"));
+  (match d with
+   | Obj kvs ->
+     (match List.assoc_opt "hint" kvs with
+      | Some h -> ignore (str "hint" h)
+      | None -> ())
+   | _ -> ());
+  sev
+
+let check_query q =
+  let name = str "query" (field q "query") in
+  if name = "" then bad "empty query name";
+  ignore (str "mode" (field q "mode"));
+  let errors = int_of_float (num "errors" (field q "errors")) in
+  let warnings = int_of_float (num "warnings" (field q "warnings")) in
+  let diags = arr "diagnostics" (field q "diagnostics") in
+  let sevs = List.map check_diag diags in
+  let count s = List.length (List.filter (( = ) s) sevs) in
+  if count "error" <> errors then
+    bad "%s: errors field says %d, diagnostics carry %d" name errors
+      (count "error");
+  if count "warning" <> warnings then
+    bad "%s: warnings field says %d, diagnostics carry %d" name warnings
+      (count "warning");
+  (name, List.length diags)
+
+let () =
+  let file =
+    match Sys.argv with
+    | [| _; f |] -> f
+    | _ -> prerr_endline "usage: json_check FILE.json"; exit 2
+  in
+  let text = In_channel.with_open_text file In_channel.input_all in
+  match parse text with
+  | exception Bad m ->
+    Printf.eprintf "json_check: %s: %s\n" file m;
+    exit 1
+  | Arr queries ->
+    (match List.map check_query queries with
+     | exception Bad m ->
+       Printf.eprintf "json_check: %s: %s\n" file m;
+       exit 1
+     | checked ->
+       let diags = List.fold_left (fun acc (_, n) -> acc + n) 0 checked in
+       Printf.printf "json_check: %s ok (%d queries, %d diagnostics)\n" file
+         (List.length checked) diags)
+  | _ ->
+    Printf.eprintf "json_check: %s: top level must be an array\n" file;
+    exit 1

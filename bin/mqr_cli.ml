@@ -516,6 +516,226 @@ let workload_cmd =
           $ no_feedback_arg $ jitter_arg $ seed_arg $ trace_out_arg
           $ parallel_arg)
 
+(* The query service: a long-lived multi-tenant scheduler driven by a
+   line protocol.  Interactive over stdin, scripted via --driver FILE
+   (the driver-mode client the smoke tests use).  All printed times are
+   simulated, so driver runs are byte-deterministic; --wall additionally
+   feeds the scheduler a real clock for the wall columns of `report`. *)
+let serve_cmd =
+  let module Service = Mqr_wlm.Service in
+  let module Session = Mqr_wlm.Session in
+  let driver_arg =
+    let doc = "Read protocol commands from $(docv) instead of stdin \
+               (driver mode: no prompts, deterministic output)." in
+    Arg.(value & opt (some string) None & info [ "driver" ] ~docv:"FILE" ~doc)
+  in
+  let wall_arg =
+    let doc = "Measure wall-clock time (queue/latency/makespan wall columns \
+               in `report`).  Off by default so driver runs stay \
+               byte-deterministic." in
+    Arg.(value & flag & info [ "wall" ] ~doc)
+  in
+  let concurrency_arg =
+    let doc = "Maximum number of statements executing at once." in
+    Arg.(value & opt int 4 & info [ "concurrency" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc = "Admission-queue capacity; further statements are shed." in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let policy_arg =
+    let policies =
+      [ ("slo-aware", Service.Slo_aware); ("round-robin", Service.Round_robin) ]
+    in
+    let doc = "Scheduling policy: slo-aware (EDF admission over SLO \
+               deadlines, tenant fair-share memory floors) or round-robin \
+               (FIFO admission, global broker: the pre-service baseline)." in
+    Arg.(value & opt (enum policies) Service.Slo_aware & info [ "policy" ] ~doc)
+  in
+  (* first whitespace-separated token, and the trimmed remainder (which
+     keeps inner spacing: SQL text survives verbatim) *)
+  let split1 s =
+    match String.index_opt s ' ' with
+    | None -> (s, "")
+    | Some i ->
+      (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+  in
+  let action driver wall sf skew budget mode pristine runtime_filters verify
+      sanitize concurrency queue policy trace_out parallel =
+    friendly @@ fun () ->
+    let tr = Option.map (fun _ -> Trace.create ()) trace_out in
+    let engine =
+      make_engine ~runtime_filters ~verify_plans:(verify_mode ~verify ~sanitize)
+        ~parallel ~sf ~skew ~budget ~pristine ()
+    in
+    let options =
+      { Service.default_options with
+        Service.max_concurrency = concurrency;
+        max_queue = queue;
+        policy;
+        wall_clock = (if wall then Some Unix.gettimeofday else None) }
+    in
+    let svc = Service.create ~options ?trace:tr engine in
+    let sessions : (string, Session.t) Hashtbl.t = Hashtbl.create 8 in
+    let handles : (string, int) Hashtbl.t = Hashtbl.create 32 in
+    let find_session name =
+      match Hashtbl.find_opt sessions name with
+      | Some s -> s
+      | None -> invalid_arg (Printf.sprintf "serve: unknown session %s" name)
+    in
+    let find_handle sname label =
+      match Hashtbl.find_opt handles (sname ^ "/" ^ label) with
+      | Some id -> id
+      | None ->
+        invalid_arg (Printf.sprintf "serve: unknown statement %s/%s" sname label)
+    in
+    let do_step n =
+      let rec go i = if i < n && Service.step svc then go (i + 1) else i in
+      Fmt.pr "stepped %d unit(s)@." (go 0)
+    in
+    let pp_status sname label = function
+      | Session.Done rep ->
+        Fmt.pr "%s/%s: done (%d rows, %.1f sim ms, %d switches)@." sname label
+          (Array.length rep.Dispatcher.rows)
+          rep.Dispatcher.elapsed_ms rep.Dispatcher.switches
+      | Session.Failed m -> Fmt.pr "%s/%s: failed (%s)@." sname label m
+      | st -> Fmt.pr "%s/%s: %s@." sname label (Session.status_to_string st)
+    in
+    let exec_line line =
+      let cmd, rest = split1 line in
+      match cmd with
+      | "tenant" ->
+        let name, rest = split1 rest in
+        let slo_s, rest = split1 rest in
+        let slo =
+          match slo_s with
+          | "interactive" -> Session.Interactive
+          | "batch" -> Session.Batch
+          | s -> invalid_arg (Printf.sprintf "serve: unknown SLO class %s" s)
+        in
+        let weight, rest =
+          match split1 rest with
+          | "", _ -> (None, "")
+          | w, r -> (Some (int_of_string w), r)
+        in
+        let target_ms =
+          match split1 rest with
+          | "", _ -> None
+          | t, _ -> Some (float_of_string t)
+        in
+        Service.add_tenant ?weight ?target_ms svc ~slo name;
+        Fmt.pr "tenant %s registered (%s)@." name (Session.slo_to_string slo)
+      | "session" ->
+        let sname, rest = split1 rest in
+        let tenant, _ = split1 rest in
+        if Hashtbl.mem sessions sname then
+          invalid_arg (Printf.sprintf "serve: session %s already open" sname);
+        let s = Service.open_session svc ~tenant in
+        Hashtbl.replace sessions sname s;
+        Fmt.pr "session %s open for tenant %s (#%d)@." sname tenant (Session.id s)
+      | "submit" ->
+        let sname, rest = split1 rest in
+        let label, rest = split1 rest in
+        let arrival_ms, sql =
+          if rest <> "" && rest.[0] = '@' then
+            let a, rest = split1 rest in
+            (float_of_string (String.sub a 1 (String.length a - 1)), rest)
+          else (0.0, rest)
+        in
+        if label = "" || sql = "" then
+          invalid_arg "serve: usage: submit SESSION LABEL [@ARRIVAL_MS] SQL";
+        let s = find_session sname in
+        let id = Session.submit ~label ~mode ~arrival_ms s (resolve_sql sql) in
+        Hashtbl.replace handles (sname ^ "/" ^ label) id;
+        Fmt.pr "submitted %s/%s (#%d, %s)@." sname label id
+          (Session.status_to_string (Session.poll s id))
+      | "step" ->
+        let n = match rest with "" -> 1 | n -> int_of_string n in
+        do_step n
+      | "drain" ->
+        Service.drain svc;
+        Fmt.pr "drained (idle)@."
+      | "poll" ->
+        let sname, rest = split1 rest in
+        let label, _ = split1 rest in
+        pp_status sname label (Session.poll (find_session sname) (find_handle sname label))
+      | "rows" ->
+        let sname, rest = split1 rest in
+        let label, _ = split1 rest in
+        (match Session.result (find_session sname) (find_handle sname label) with
+         | Some rep ->
+           Array.iter
+             (fun t -> Fmt.pr "%a@." Mqr_storage.Tuple.pp t)
+             rep.Dispatcher.rows;
+           Fmt.pr "(%d rows)@." (Array.length rep.Dispatcher.rows)
+         | None -> Fmt.pr "%s/%s: no result@." sname label)
+      | "cancel" ->
+        let sname, rest = split1 rest in
+        let label, _ = split1 rest in
+        let ok = Session.cancel (find_session sname) (find_handle sname label) in
+        Fmt.pr "cancel %s/%s: %s@." sname label (if ok then "ok" else "no-op")
+      | "close" ->
+        let sname, _ = split1 rest in
+        Session.close (find_session sname);
+        Fmt.pr "session %s closed@." sname
+      | "report" -> Fmt.pr "%a@." Service.pp_report (Service.report svc)
+      | c -> invalid_arg (Printf.sprintf "serve: unknown command %s" c)
+    in
+    let ic = match driver with Some f -> open_in f | None -> stdin in
+    Fmt.pr "mqr service: policy %s, concurrency %d, budget %d pages%s@."
+      (Service.policy_to_string policy)
+      concurrency budget
+      (match Engine.verify_mode engine with
+       | Verifier.Sanitize -> " [sanitize]"
+       | Verifier.Pre -> " [verify]"
+       | Verifier.Off -> "");
+    let cleanup () =
+      if driver <> None then close_in_noerr ic;
+      Engine.shutdown engine
+    in
+    Fun.protect ~finally:cleanup (fun () ->
+      let rec loop () =
+        (if driver = None then Fmt.pr "svc> %!");
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some line ->
+          let line = String.trim line in
+          if line = "quit" then ()
+          else begin
+            if line <> "" && line.[0] <> '#' then
+              (try exec_line line with
+               (* sanitizer findings (TEN-LIFETIME etc.) are bugs: abort
+                  the serve loop so smokes fail loudly *)
+               | Verifier.Rejected _ as e -> raise e
+               | Invalid_argument m | Failure m -> Fmt.pr "error: %s@." m
+               | Mqr_sql.Lexer.Lex_error m
+               | Mqr_sql.Parser.Parse_error m
+               | Mqr_sql.Query.Bind_error m -> Fmt.pr "error: %s@." m);
+            loop ()
+          end
+      in
+      loop ());
+    Fmt.pr "bye.@.";
+    match tr, trace_out with
+    | Some tr, Some file -> export_chrome tr file
+    | _ -> ()
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:
+        "Run the engine as a long-lived multi-tenant query service.  \
+         Commands (one per line, # comments): tenant NAME \
+         interactive|batch [WEIGHT] [TARGET_MS]; session NAME TENANT; \
+         submit SESSION LABEL [@ARRIVAL_MS] SQL; step [N]; drain; poll \
+         SESSION LABEL; rows SESSION LABEL; cancel SESSION LABEL; close \
+         SESSION; report; quit."
+  in
+  Cmd.v info
+    Term.(const action $ driver_arg $ wall_arg $ sf_arg $ skew_arg
+          $ budget_arg $ mode_arg $ pristine_arg $ rf_arg $ verify_arg
+          $ sanitize_arg $ concurrency_arg $ queue_arg $ policy_arg
+          $ trace_out_arg $ parallel_arg)
+
 let trace_cmd =
   let queries_arg =
     let doc = "Queries to trace (benchmark names like Q5, or SQL text); \
@@ -600,4 +820,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; explain_cmd; lint_cmd; trace_cmd; queries_cmd;
-            workload_cmd; repl_cmd; dump_cmd; load_repl_cmd ]))
+            workload_cmd; serve_cmd; repl_cmd; dump_cmd; load_repl_cmd ]))

@@ -854,6 +854,25 @@ let check_exn ?passes ~what ctx plan =
    | errs -> raise (Rejected { what; diags = errs }));
   ds
 
+(* Dynamic service-level lifetime check: the per-tenant sum of transient
+   pages (bloom bitmaps + worker pool slices, over all the tenant's
+   in-flight runs) must be zero whenever the scheduler observes those
+   runs from outside a step — the multi-tenant generalization of
+   RF-LIFETIME / PAR-LIFETIME. *)
+let reject_tenant_pages ~what ~tenant ~pages =
+  raise
+    (Rejected
+       { what;
+         diags =
+           [ Diagnostic.error ~pass:"service" ~code:"TEN-LIFETIME"
+               ~hint:
+                 "transient leases must retire before the scheduler observes \
+                  the run"
+               ~node_id:0 ~path:[ "service" ]
+               (Printf.sprintf
+                  "tenant %s holds %d transient pages at a decision point"
+                  tenant pages) ] })
+
 let () =
   Printexc.register_printer (function
     | Rejected { what; diags } ->

@@ -112,6 +112,14 @@ val check_exn :
   ?passes:pass list -> what:string -> context -> Mqr_opt.Plan.t ->
   Diagnostic.t list
 
+(** Raise {!Rejected} with a [TEN-LIFETIME] error: tenant [tenant] still
+    holds [pages] transient pages (bloom bitmaps + worker pool slices,
+    summed over its in-flight runs) at a point where the service
+    scheduler observes its runs from outside a step.  The multi-tenant
+    generalization of the sanitizer's [RF-LIFETIME] / [PAR-LIFETIME]
+    dynamic checks. *)
+val reject_tenant_pages : what:string -> tenant:string -> pages:int -> 'a
+
 (** How much verification the dispatcher performs. *)
 type mode =
   | Off

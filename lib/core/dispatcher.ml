@@ -1213,6 +1213,14 @@ let try_replan ?(force = false) st =
              ~max_dop:st.cfg.opt_options.Optimizer.max_dop
              ~model:st.cfg.model ~env:env' scia.Scia.plan
          in
+         (* Scia.insert hands the Collect wrappers ids past the plan's max
+            from its own counter; pull next_id past them or a later
+            Materialized leaf would reuse a live Collect id and the
+            id-keyed analyses (bounds, actuals) would conflate the two. *)
+         st.next_id <-
+           List.fold_left
+             (fun m (n : Plan.t) -> max m n.Plan.id)
+             st.next_id (Plan.nodes new_plan);
          st.env <- env';
          st.current <- new_plan;
          record_annotations st new_plan;
@@ -1273,6 +1281,7 @@ type run = {
   r_collectors : int;
   q_span : Trace.token option;
   mutable result : report option;
+  mutable aborted : bool;
 }
 
 let start ?prepared cfg query =
@@ -1369,7 +1378,46 @@ let start ?prepared cfg query =
   (* refuse to execute a plan that fails static analysis *)
   verify_plan st ~what:"initial plan" plan0;
   List.iter (fun p -> emit st (Ev_sampled p)) probes;
-  { st; plan0; r_collectors = collectors; q_span; result = None }
+  { st; plan0; r_collectors = collectors; q_span; result = None;
+    aborted = false }
+
+(* Abandon a run's externally-visible state: transient broker pages
+   (bloom bitmaps, worker pool slices) go back to the pool, temp tables
+   leave the shared catalog, and the trace unwinds to a well-formed
+   forest.  Called on cancel and on any exception escaping [step], so a
+   failed query in a long-lived service leaks neither pages nor catalog
+   entries.  (The query's memory lease itself belongs to the workload
+   scheduler, which releases it when it observes the failure.) *)
+let teardown r ~error =
+  let st = r.st in
+  st.active_filters <- [];
+  if st.filter_pages > 0 then release_filter_pages st st.filter_pages;
+  if st.worker_pages > 0 then release_worker_pages st st.worker_pages;
+  List.iter
+    (fun name ->
+       Catalog.drop_table st.cfg.catalog name;
+       Hashtbl.remove st.store name)
+    st.temp_names;
+  st.temp_names <- [];
+  match st.cfg.trace with
+  | None -> ()
+  | Some scope ->
+    let args =
+      ("aborted", Trace.Bool true)
+      :: (match error with
+          | Some msg -> [ ("error", Trace.Str msg) ]
+          | None -> [])
+    in
+    Trace.unwind scope ~args
+      ~ts_ms:(Sim_clock.elapsed_ms st.ctx.Exec_ctx.clock) ()
+
+(* Cancel a run that has not produced its report.  Idempotent; a
+   subsequent [step] raises. *)
+let abort r =
+  if Option.is_none r.result && not r.aborted then begin
+    r.aborted <- true;
+    teardown r ~error:None
+  end
 
 (* Re-negotiate the memory lease for a run that has not finished —
    called by a workload manager when pages freed by another query can be
@@ -1380,7 +1428,9 @@ let refresh_memory r =
   | None, Some _ -> reallocate r.st
   | _ -> ()
 
-let finished r = Option.is_some r.result
+let finished r = Option.is_some r.result || r.aborted
+
+let aborted r = r.aborted
 
 (* Bloom-bitmap pages currently leased; zero whenever a unit is not
    mid-execution (filters live strictly inside one unit). *)
@@ -1394,7 +1444,7 @@ let run_elapsed_ms r = Sim_clock.elapsed_ms r.st.ctx.Exec_ctx.clock
 
 (* Execute one unit (a ready join, or the final aggregate/sort stack).
    Returns the report once the last unit completed. *)
-let step r =
+let step_once r =
   match r.result with
   | Some report -> Some report
   | None ->
@@ -1514,6 +1564,18 @@ let step r =
        in
        r.result <- Some report;
        Some report)
+
+(* Any exception escaping a unit (executor failure, sanitizer rejection,
+   a broken UDF) tears the run down before propagating: the same cleanup
+   as [abort], then re-raise with the original backtrace. *)
+let step r =
+  if r.aborted then invalid_arg "Dispatcher.step: aborted run";
+  try step_once r
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    r.aborted <- true;
+    (try teardown r ~error:(Some (Printexc.to_string e)) with _ -> ());
+    Printexc.raise_with_backtrace e bt
 
 let run ?prepared cfg query =
   let r = start ?prepared cfg query in

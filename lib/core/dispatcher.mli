@@ -200,10 +200,25 @@ val start :
   ?prepared:Mqr_opt.Plan.t * int -> config -> Mqr_sql.Query.t -> run
 
 (** [step r] executes the next unit; returns the report once the query
-    finished (repeat calls keep returning it). *)
+    finished (repeat calls keep returning it).  If a unit raises
+    (executor failure, sanitizer rejection, a broken UDF) the run is
+    torn down exactly like {!abort} before the exception propagates —
+    no leaked temp tables, no leaked transient broker pages — and
+    further [step] calls raise [Invalid_argument]. *)
 val step : run -> report option
 
+(** Cancel a run mid-query: releases transient broker pages, drops the
+    run's temp tables from the shared catalog, and closes its open trace
+    spans.  Idempotent; no-op once the report exists.  The run's memory
+    lease itself belongs to whoever created the broker hook and must be
+    released there. *)
+val abort : run -> unit
+
+(** [finished r] once [r] has its report {e or} was aborted. *)
 val finished : run -> bool
+
+(** The run was torn down by {!abort} or by an exception inside {!step}. *)
+val aborted : run -> bool
 
 (** Simulated milliseconds this run has consumed so far. *)
 val run_elapsed_ms : run -> float

@@ -51,12 +51,16 @@ let create ?(model = Sim_clock.default_model) ?(pool_pages = 2048)
       (if parallel > 1 then Some (Domain_pool.create ~size:parallel ())
        else None) }
 
-(* Tear down the domain pool (idempotent; a no-op for serial engines).
-   Long-running hosts should call this when discarding an engine — the
-   domains are otherwise reclaimed only at process exit. *)
+(* Tear down the domain pool.  Idempotent — the pool joins its domains
+   exactly once no matter how many times this is called, so error paths
+   in long-lived hosts can shut down defensively.  A no-op for serial
+   engines; without it the domains of a parallel engine are reclaimed
+   only at process exit. *)
 let shutdown t = Option.iter Domain_pool.shutdown t.domain_pool
 
 let catalog t = t.catalog
+
+let verify_mode t = t.verify
 
 let plan_cache_stats t =
   Option.map (fun c -> (Plan_cache.hits c, Plan_cache.misses c, Plan_cache.size c))

@@ -51,11 +51,16 @@ val create :
   ?parallel:int ->
   Mqr_catalog.Catalog.t -> t
 
-(** Join the engine's worker domains (idempotent; no-op for serial
-    engines). *)
+(** Join the engine's worker domains.  Idempotent: safe to call from
+    every error path of a long-lived host — repeated calls after the
+    first are no-ops, as is the whole call for serial engines. *)
 val shutdown : t -> unit
 
 val catalog : t -> Mqr_catalog.Catalog.t
+
+(** The verifier mode queries inherit unless a dispatcher config
+    overrides it. *)
+val verify_mode : t -> Mqr_analysis.Verifier.mode
 
 (** The engine's global memory-manager budget. *)
 val budget_pages : t -> int

@@ -58,6 +58,9 @@ type t = {
   mutable t_ledger : decision list;      (* newest first *)
   mutable next_tid : int;
   mutable t_open : int;                  (* spans currently open *)
+  mutable t_tenants : (string * int) list;  (* tenant -> pid, newest first *)
+  mutable tid_pid : (int * int) list;    (* only non-default pids *)
+  mutable next_pid : int;
 }
 
 let create () =
@@ -67,7 +70,12 @@ let create () =
     t_instants = [];
     t_ledger = [];
     next_tid = 0;
-    t_open = 0 }
+    t_open = 0;
+    t_tenants = [];
+    tid_pid = [];
+    (* pid 1 is the default (tenant-less) process, so Chrome output for
+       single-tenant sessions stays byte-identical to the old exporter *)
+    next_pid = 2 }
 
 let metrics t = t.m
 
@@ -83,28 +91,46 @@ type scope = {
   tid : int;
   label : string;
   offset : float;
+  tenant : string option;
   mutable stack : pending list;  (* innermost first *)
   mutable seq : int;             (* decision-point ordinal *)
   mutable lanes : (int * scope) list;  (* memoized worker lanes *)
 }
 
-let scope t ?(offset_ms = 0.0) ~label () =
+(* Each distinct tenant becomes its own Chrome-trace *process*, so a
+   multi-tenant service renders one swimlane group per tenant.  Scopes
+   without a tenant stay on the default pid 1 and the exporter output is
+   unchanged. *)
+let tenant_pid t = function
+  | None -> 1
+  | Some name ->
+    (match List.assoc_opt name t.t_tenants with
+     | Some pid -> pid
+     | None ->
+       let pid = t.next_pid in
+       t.next_pid <- pid + 1;
+       t.t_tenants <- (name, pid) :: t.t_tenants;
+       pid)
+
+let scope t ?(offset_ms = 0.0) ?tenant ~label () =
   let tid = t.next_tid in
   t.next_tid <- tid + 1;
   t.scopes <- (tid, label) :: t.scopes;
-  { parent = t; tid; label; offset = offset_ms; stack = []; seq = 0;
+  let pid = tenant_pid t tenant in
+  if pid <> 1 then t.tid_pid <- (tid, pid) :: t.tid_pid;
+  { parent = t; tid; label; offset = offset_ms; tenant; stack = []; seq = 0;
     lanes = [] }
 
 (* One extra Chrome-trace thread per parallel worker of a query, so the
    per-worker spans of an exchange operator render as their own tracks.
-   Lanes share the query's offset and are memoized: every operator's
-   worker [i] lands on the same track. *)
+   Lanes share the query's offset (and tenant lane) and are memoized:
+   every operator's worker [i] lands on the same track. *)
 let worker_lane s i =
   match List.assoc_opt i s.lanes with
   | Some lane -> lane
   | None ->
     let lane =
-      scope s.parent ~offset_ms:s.offset
+      scope s.parent ~offset_ms:s.offset ?tenant:s.tenant
         ~label:(Printf.sprintf "%s#w%d" s.label i) ()
     in
     s.lanes <- (i, lane) :: s.lanes;
@@ -135,6 +161,16 @@ let close_span s ?(args = []) ~ts_ms token =
         sp_args = args }
       :: s.parent.t_spans
   | _ -> invalid_arg "Trace.close_span: span closed out of order"
+
+(* Error-path teardown: close every span still open in the scope,
+   innermost first, so an exception thrown mid-unit leaves the trace
+   well-formed (a long-lived service keeps exporting after failures). *)
+let rec unwind s ?(args = []) ~ts_ms () =
+  match s.stack with
+  | [] -> ()
+  | p :: _ ->
+    close_span s ~args ~ts_ms p;
+    unwind s ~args ~ts_ms ()
 
 let instant s ?(cat = "event") ?(args = []) ~name ~ts_ms () =
   s.parent.t_instants <-
@@ -171,6 +207,7 @@ let spans t = List.rev t.t_spans
 let instants t = List.rev t.t_instants
 let ledger t = List.rev t.t_ledger
 let open_spans t = t.t_open
+let tenant_lanes t = List.rev t.t_tenants
 
 (* ------------------------------------------------------------------ *)
 (* JSON rendering (hand-rolled: deterministic, dependency-free)        *)
@@ -250,22 +287,34 @@ let to_chrome_json t =
     Buffer.add_string buf "  ";
     Buffer.add_string buf line
   in
+  let pids = Hashtbl.create 16 in
+  List.iter (fun (tid, pid) -> Hashtbl.replace pids tid pid) t.tid_pid;
+  let pid_of tid = Option.value ~default:1 (Hashtbl.find_opt pids tid) in
   Buffer.add_string buf "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  List.iter
+    (fun (name, pid) ->
+       event
+         (Printf.sprintf
+            "{\"ph\": \"M\", \"pid\": %d, \"tid\": 0, \"name\": \
+             \"process_name\", \"args\": {\"name\": \"%s\"}}"
+            pid (escape name)))
+    (tenant_lanes t);
   List.iter
     (fun (tid, label) ->
        event
          (Printf.sprintf
-            "{\"ph\": \"M\", \"pid\": 1, \"tid\": %d, \"name\": \
+            "{\"ph\": \"M\", \"pid\": %d, \"tid\": %d, \"name\": \
              \"thread_name\", \"args\": {\"name\": \"%s\"}}"
-            tid (escape label)))
+            (pid_of tid) tid (escape label)))
     (queries t);
   List.iter
     (fun sp ->
        event
          (Printf.sprintf
-            "{\"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"name\": \"%s\", \
+            "{\"ph\": \"X\", \"pid\": %d, \"tid\": %d, \"name\": \"%s\", \
              \"cat\": \"%s\", \"ts\": %d, \"dur\": %d, \"args\": {%s}}"
-            sp.sp_tid (escape sp.sp_name) (escape sp.sp_cat)
+            (pid_of sp.sp_tid) sp.sp_tid (escape sp.sp_name)
+            (escape sp.sp_cat)
             (us sp.sp_begin_ms)
             (max 0 (us sp.sp_end_ms - us sp.sp_begin_ms))
             (args_json (("depth", Int sp.sp_depth) :: sp.sp_args))))
@@ -274,18 +323,19 @@ let to_chrome_json t =
     (fun i ->
        event
          (Printf.sprintf
-            "{\"ph\": \"i\", \"pid\": 1, \"tid\": %d, \"name\": \"%s\", \
+            "{\"ph\": \"i\", \"pid\": %d, \"tid\": %d, \"name\": \"%s\", \
              \"cat\": \"%s\", \"ts\": %d, \"s\": \"t\", \"args\": {%s}}"
-            i.i_tid (escape i.i_name) (escape i.i_cat) (us i.i_ts_ms)
+            (pid_of i.i_tid) i.i_tid (escape i.i_name) (escape i.i_cat)
+            (us i.i_ts_ms)
             (args_json i.i_args)))
     (instants t);
   List.iter
     (fun d ->
        event
          (Printf.sprintf
-            "{\"ph\": \"i\", \"pid\": 1, \"tid\": %d, \"name\": \"%s\", \
+            "{\"ph\": \"i\", \"pid\": %d, \"tid\": %d, \"name\": \"%s\", \
              \"cat\": \"decision\", \"ts\": %d, \"s\": \"t\", \"args\": {%s}}"
-            d.d_tid (kind_name d.d_kind) (us d.d_ts_ms)
+            (pid_of d.d_tid) d.d_tid (kind_name d.d_kind) (us d.d_ts_ms)
             (args_json (decision_fields d))))
     (ledger t);
   Buffer.add_string buf "\n]}\n";

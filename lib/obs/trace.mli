@@ -89,8 +89,12 @@ type scope
 
 (** [scope t ~label ()] opens a new lane; [offset_ms] shifts every
     timestamp recorded through it (a query's admission time under a
-    workload manager; 0 for a solo query). *)
-val scope : t -> ?offset_ms:float -> label:string -> unit -> scope
+    workload manager; 0 for a solo query).  [tenant] assigns the lane to
+    a tenant: each distinct tenant renders as its own Chrome-trace
+    {e process} (pid >= 2, with process-name metadata), so a multi-tenant
+    service gets one swimlane group per tenant.  Tenant-less scopes stay
+    on the default pid 1 and the exporter output is unchanged. *)
+val scope : t -> ?offset_ms:float -> ?tenant:string -> label:string -> unit -> scope
 
 val scope_label : scope -> string
 val scope_tid : scope -> int
@@ -111,6 +115,13 @@ val open_span :
     [token] is not that span (malformed nesting). *)
 val close_span :
   scope -> ?args:(string * arg) list -> ts_ms:float -> token -> unit
+
+(** Error-path teardown: close every span still open in the scope,
+    innermost first, stamping each with [args] and [ts_ms].  Leaves the
+    trace well-formed after an exception aborts a query mid-unit, so a
+    long-lived service can keep exporting.  No-op on an empty stack. *)
+val unwind :
+  scope -> ?args:(string * arg) list -> ts_ms:float -> unit -> unit
 
 val instant :
   scope -> ?cat:string -> ?args:(string * arg) list -> name:string ->
@@ -142,6 +153,9 @@ val ledger : t -> decision list
 (** Spans opened but not yet closed, across all scopes — 0 in any
     well-formed finished trace. *)
 val open_spans : t -> int
+
+(** [(tenant, pid)] per distinct tenant seen by {!scope}, in pid order. *)
+val tenant_lanes : t -> (string * int) list
 
 (** {2 Exporters}
 

@@ -1,12 +1,14 @@
 type 'a item = {
   priority : int;
+  deadline : float;  (* latency-SLO deadline; [infinity] = no deadline *)
   seq : int;
   payload : 'a;
 }
 
 type 'a t = {
   capacity : int;
-  mutable items : 'a item list;  (* sorted: higher priority, then FIFO *)
+  mutable items : 'a item list;  (* sorted: earliest deadline, then higher
+                                    priority, then FIFO *)
   mutable next_seq : int;
 }
 
@@ -17,13 +19,20 @@ let create ~capacity =
 let length t = List.length t.items
 let is_empty t = t.items = []
 
+(* Earliest-deadline-first: a statement whose SLO clock is running out
+   overtakes everything with more slack.  Deadline ties (in particular the
+   deadline-free [infinity] case, which keeps the pre-SLO behaviour
+   byte-identical) fall back to priority, then submission order. *)
 let before a b =
-  a.priority > b.priority || (a.priority = b.priority && a.seq < b.seq)
+  a.deadline < b.deadline
+  || (a.deadline = b.deadline
+      && (a.priority > b.priority
+          || (a.priority = b.priority && a.seq < b.seq)))
 
-let offer t ~priority payload =
+let offer ?(deadline = infinity) t ~priority payload =
   if length t >= t.capacity then false
   else begin
-    let item = { priority; seq = t.next_seq; payload } in
+    let item = { priority; deadline; seq = t.next_seq; payload } in
     t.next_seq <- t.next_seq + 1;
     let rec insert = function
       | [] -> [ item ]
@@ -39,3 +48,24 @@ let take t =
   | x :: rest ->
     t.items <- rest;
     Some x.payload
+
+let peek t =
+  match t.items with
+  | [] -> None
+  | x :: _ -> Some x.payload
+
+(* Best-ranked item the caller can actually start (per-tenant in-flight
+   caps, broker floors): the queue order is preserved for everything
+   skipped, so an ineligible head does not stall distinct tenants behind
+   it (no head-of-line blocking across tenants). *)
+let take_if t pred =
+  let rec go acc = function
+    | [] -> None
+    | x :: rest ->
+      if pred x.payload then begin
+        t.items <- List.rev_append acc rest;
+        Some x.payload
+      end
+      else go (x :: acc) rest
+  in
+  go [] t.items

@@ -1,20 +1,34 @@
-(** Admission controller: a bounded, priority-ordered run queue.
+(** Admission controller: a bounded, deadline- and priority-ordered run
+    queue.
 
-    Queries that cannot start immediately wait here.  [take] returns the
-    highest-priority waiting item; ties break in submission order (FIFO),
-    so equal-priority queries are served fairly.  [offer] refuses items
-    beyond the capacity — the workload manager reports those as rejected
-    rather than queueing unboundedly (load shedding). *)
+    Queries that cannot start immediately wait here.  Ordering is
+    earliest-deadline-first (EDF): an item with a latency-SLO deadline
+    overtakes anything with more slack, which is what lets an interactive
+    statement jump a queue of batch work.  Items without a deadline
+    (the default, [infinity]) keep the original behaviour exactly:
+    highest priority first, FIFO within a priority.  [offer] refuses
+    items beyond the capacity — the workload manager reports those as
+    rejected rather than queueing unboundedly (load shedding). *)
 
 type 'a t
 
 val create : capacity:int -> 'a t
 
-(** [offer t ~priority x] is [false] when the queue is full. *)
-val offer : 'a t -> priority:int -> 'a -> bool
+(** [offer ?deadline t ~priority x] is [false] when the queue is full.
+    [deadline] is an absolute time in ms ([infinity] = no deadline). *)
+val offer : ?deadline:float -> 'a t -> priority:int -> 'a -> bool
 
-(** Highest priority first; FIFO within a priority. *)
+(** Earliest deadline first; then highest priority; FIFO within both. *)
 val take : 'a t -> 'a option
+
+(** Like [take] without removing the item. *)
+val peek : 'a t -> 'a option
+
+(** [take_if t pred] removes and returns the best-ranked item satisfying
+    [pred], leaving the relative order of everything else untouched.
+    Lets a scheduler skip a head-of-queue item whose tenant is at its
+    in-flight cap without stalling other tenants queued behind it. *)
+val take_if : 'a t -> ('a -> bool) -> 'a option
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool

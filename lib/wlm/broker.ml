@@ -1,8 +1,18 @@
+type tenant = {
+  tn_weight : int;
+  mutable tn_active : bool;  (* has admitted-but-unfinished work *)
+  mutable tn_leased : int;   (* cached sum of this tenant's leases *)
+  mutable tn_peak : int;
+  mutable tn_waits : int;    (* lease calls clipped by other tenants' floors *)
+}
+
 type t = {
   budget : int;
   floor : int;
   max_concurrency : int;
   leases : (int, int) Hashtbl.t;
+  owners : (int, string) Hashtbl.t;  (* lease id -> tenant *)
+  tenants : (string, tenant) Hashtbl.t;
   mutable pending : int;
   mutable peak : int;
   mutable grants : int;
@@ -16,6 +26,8 @@ let create ~budget_pages ~max_concurrency =
     floor = max 1 (budget_pages / max_concurrency);
     max_concurrency;
     leases = Hashtbl.create 8;
+    owners = Hashtbl.create 8;
+    tenants = Hashtbl.create 4;
     pending = 0;
     peak = 0;
     grants = 0;
@@ -34,7 +46,84 @@ let lease_of t ~id = Option.value ~default:0 (Hashtbl.find_opt t.leases id)
 
 let set_pending t n = t.pending <- max 0 n
 
-let lease t ~id ~min_pages ~max_pages =
+(* --- per-tenant fair shares ------------------------------------------- *)
+
+let register_tenant t ~weight name =
+  if weight < 1 then invalid_arg "Broker.register_tenant: weight < 1";
+  match Hashtbl.find_opt t.tenants name with
+  | Some tn when tn.tn_weight = weight -> ()
+  | Some tn ->
+    Hashtbl.replace t.tenants name { tn with tn_weight = weight }
+  | None ->
+    Hashtbl.replace t.tenants name
+      { tn_weight = weight; tn_active = false; tn_leased = 0;
+        tn_peak = 0; tn_waits = 0 }
+
+let tenant_of t name = Hashtbl.find_opt t.tenants name
+
+let total_weight t =
+  Hashtbl.fold (fun _ tn acc -> acc + tn.tn_weight) t.tenants 0
+
+(* A tenant's fair share of the budget, by registered weight.  This is the
+   floor reserved for it while it has admitted work: other tenants can use
+   the pages only when the owner is idle (work-conserving), but an active
+   tenant always finds at least its share un-leasable by anyone else. *)
+let tenant_share t name =
+  match tenant_of t name with
+  | None -> 0
+  | Some tn ->
+    let tw = total_weight t in
+    if tw = 0 then 0 else t.budget * tn.tn_weight / tw
+
+let set_tenant_active t name active =
+  match tenant_of t name with
+  | Some tn -> tn.tn_active <- active
+  | None -> ()
+
+let tenant_leased t name =
+  match tenant_of t name with Some tn -> tn.tn_leased | None -> 0
+
+let tenant_peak t name =
+  match tenant_of t name with Some tn -> tn.tn_peak | None -> 0
+
+let tenant_floor_waits t name =
+  match tenant_of t name with Some tn -> tn.tn_waits | None -> 0
+
+let tenants t =
+  Hashtbl.fold (fun name tn acc -> (name, tn.tn_weight) :: acc) t.tenants []
+  |> List.sort compare
+
+(* Pages held in reserve for *other* active tenants that are below their
+   fair share.  [asker = None] means an anonymous (non-tenant) lease,
+   which must respect every active tenant's floor. *)
+let reserved_for_others t asker =
+  Hashtbl.fold
+    (fun name tn acc ->
+      if tn.tn_active && Some name <> asker then
+        acc + max 0 (tenant_share t name - tn.tn_leased)
+      else acc)
+    t.tenants 0
+
+let adjust_owner t ~id ~tenant ~granted ~current =
+  (* take the old pages off whichever tenant owned them, then credit the
+     (possibly different) new owner with the fresh grant *)
+  (match Hashtbl.find_opt t.owners id with
+   | Some prev ->
+     (match tenant_of t prev with
+      | Some tn -> tn.tn_leased <- tn.tn_leased - current
+      | None -> ())
+   | None -> ());
+  match tenant with
+  | None -> Hashtbl.remove t.owners id
+  | Some name ->
+    Hashtbl.replace t.owners id name;
+    (match tenant_of t name with
+     | Some tn ->
+       tn.tn_leased <- tn.tn_leased + granted;
+       tn.tn_peak <- max tn.tn_peak tn.tn_leased
+     | None -> ())
+
+let lease ?tenant t ~id ~min_pages ~max_pages =
   if min_pages < 0 || max_pages < min_pages then
     invalid_arg "Broker.lease: bad demand";
   let current = lease_of t ~id in
@@ -46,11 +135,23 @@ let lease t ~id ~min_pages ~max_pages =
      rest of the batch behind it *)
   let open_slots = max 0 (t.max_concurrency - others - 1) in
   let reserved = t.floor * min t.pending open_slots in
-  let available = max 0 (free_pages t + current - reserved) in
+  (* additionally keep every other active tenant's unfilled fair share in
+     reserve — a batch tenant's hash joins cannot lease into the pages an
+     interactive tenant is entitled to *)
+  let reserved_tenants = reserved_for_others t tenant in
+  let available = max 0 (free_pages t + current - reserved - reserved_tenants) in
   let granted = min max_pages available in
   let granted = if granted < min_pages then min min_pages available else granted in
   let granted = max 0 granted in
+  if granted < max_pages && reserved_tenants > 0 then
+    (match tenant with
+     | Some name ->
+       (match tenant_of t name with
+        | Some tn -> tn.tn_waits <- tn.tn_waits + 1
+        | None -> ())
+     | None -> ());
   if granted < current then t.reclaimed <- t.reclaimed + (current - granted);
+  adjust_owner t ~id ~tenant ~granted ~current;
   Hashtbl.replace t.leases id granted;
   t.grants <- t.grants + 1;
   t.peak <- max t.peak (total_leased t);
@@ -58,11 +159,30 @@ let lease t ~id ~min_pages ~max_pages =
 
 let release t ~id =
   (match Hashtbl.find_opt t.leases id with
-   | Some pages -> t.reclaimed <- t.reclaimed + pages
+   | Some pages ->
+     t.reclaimed <- t.reclaimed + pages;
+     (match Hashtbl.find_opt t.owners id with
+      | Some name ->
+        (match tenant_of t name with
+         | Some tn -> tn.tn_leased <- tn.tn_leased - pages
+         | None -> ())
+      | None -> ())
    | None -> ());
-  Hashtbl.remove t.leases id
+  Hashtbl.remove t.leases id;
+  Hashtbl.remove t.owners id
 
 let can_admit t = free_pages t >= t.floor
+
+(* Admission check from a tenant's point of view: pages reserved for
+   *other* tenants do not count as free, but the asker's own reserved
+   share does — an active tenant below its share can always admit,
+   no matter how much the others have leased. *)
+let can_admit_tenant t name =
+  let free = free_pages t in
+  free - reserved_for_others t (Some name) >= t.floor
+  || (match tenant_of t name with
+      | Some tn -> tenant_share t name - tn.tn_leased >= t.floor
+      | None -> false)
 
 let peak_leased t = t.peak
 let grants t = t.grants
@@ -70,4 +190,11 @@ let reclaimed_pages t = t.reclaimed
 
 let pp fmt t =
   Fmt.pf fmt "broker: %d/%d pages leased across %d queries (peak %d, floor %d)"
-    (total_leased t) t.budget (outstanding t) t.peak t.floor
+    (total_leased t) t.budget (outstanding t) t.peak t.floor;
+  if Hashtbl.length t.tenants > 0 then
+    List.iter
+      (fun (name, w) ->
+        Fmt.pf fmt "@.  tenant %s: weight %d share %d leased %d (peak %d)"
+          name w (tenant_share t name) (tenant_leased t name)
+          (tenant_peak t name))
+      (tenants t)

@@ -12,7 +12,14 @@
     query's operators to a whole workload's queries.
 
     Invariants (tested): the sum of outstanding leases never exceeds the
-    budget, and no lease outlives its query. *)
+    budget, and no lease outlives its query.
+
+    {b Multi-tenancy.}  Tenants registered with [register_tenant] get a
+    weighted fair share of the budget.  While a tenant is marked active
+    (it has admitted-but-unfinished work) the unused part of its share is
+    held in reserve: other tenants' leases cannot touch it, so one
+    tenant's hash joins cannot starve another's scans.  The scheme is
+    work-conserving — an idle tenant's share is available to everyone. *)
 
 type t
 
@@ -25,14 +32,17 @@ val create : budget_pages:int -> max_concurrency:int -> t
 val budget_pages : t -> int
 val floor_pages : t -> int
 
-(** [lease t ~id ~min_pages ~max_pages] re-negotiates query [id]'s lease:
-    grants up to [max_pages] of what is free (a query's own current lease
-    counts as free to itself), falling back toward [min_pages] under
-    pressure.  While pending queries could still fill open slots, one
-    admission floor per such query is held in reserve so a single greedy
-    lease cannot serialize the batch.  Returns the new lease size; never
-    exceeds the pages actually available, so the budget invariant holds. *)
-val lease : t -> id:int -> min_pages:int -> max_pages:int -> int
+(** [lease ?tenant t ~id ~min_pages ~max_pages] re-negotiates query
+    [id]'s lease: grants up to [max_pages] of what is free (a query's own
+    current lease counts as free to itself), falling back toward
+    [min_pages] under pressure.  While pending queries could still fill
+    open slots, one admission floor per such query is held in reserve so
+    a single greedy lease cannot serialize the batch; likewise every
+    {e other} active tenant's unfilled fair share is reserved, so the
+    grant a re-opt decision point sees is the {e tenant's} budget, not
+    the global one.  Returns the new lease size; never exceeds the pages
+    actually available, so the budget invariant holds. *)
+val lease : ?tenant:string -> t -> id:int -> min_pages:int -> max_pages:int -> int
 
 (** [set_pending t n] tells the broker how many submitted queries are not
     yet running — the scheduler updates this as the batch drains so
@@ -53,6 +63,37 @@ val outstanding : t -> int
 
 (** Is there room (>= floor) to admit another query? *)
 val can_admit : t -> bool
+
+(** {2 Per-tenant fair shares} *)
+
+(** [register_tenant t ~weight name] declares a tenant; its fair share is
+    [budget * weight / total_weight].  Re-registering updates the weight. *)
+val register_tenant : t -> weight:int -> string -> unit
+
+(** Mark a tenant active (has admitted-but-unfinished work).  Only active
+    tenants' unfilled shares are reserved against other tenants. *)
+val set_tenant_active : t -> string -> bool -> unit
+
+(** A tenant's fair share of the budget in pages (0 if unregistered). *)
+val tenant_share : t -> string -> int
+
+(** Pages currently leased under this tenant across all its queries. *)
+val tenant_leased : t -> string -> int
+
+(** High-water mark of [tenant_leased]. *)
+val tenant_peak : t -> string -> int
+
+(** Lease calls by this tenant that were clipped while other tenants'
+    floors were in reserve — a cheap "broker waits" signal for metrics. *)
+val tenant_floor_waits : t -> string -> int
+
+(** Like [can_admit] from [name]'s point of view: other tenants' reserved
+    shares don't count as free, but an active tenant sitting below its
+    own share can always admit regardless of what the others hold. *)
+val can_admit_tenant : t -> string -> bool
+
+(** Registered tenants with their weights, name-sorted. *)
+val tenants : t -> (string * int) list
 
 (** High-water mark of [total_leased] over the broker's lifetime. *)
 val peak_leased : t -> int

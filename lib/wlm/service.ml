@@ -1,0 +1,649 @@
+module Engine = Mqr_core.Engine
+module Dispatcher = Mqr_core.Dispatcher
+module Verifier = Mqr_analysis.Verifier
+module Trace = Mqr_obs.Trace
+module Metrics = Mqr_obs.Metrics
+
+type policy = Round_robin | Slo_aware
+
+let policy_to_string = function
+  | Round_robin -> "round-robin"
+  | Slo_aware -> "slo-aware"
+
+type slo_class = { target_ms : float; weight : int }
+
+type options = {
+  max_concurrency : int;
+  max_queue : int;
+  policy : policy;
+  interactive : slo_class;
+  batch : slo_class;
+  feedback : bool;
+  wall_clock : (unit -> float) option;
+}
+
+let default_options =
+  { max_concurrency = 4;
+    max_queue = 64;
+    policy = Slo_aware;
+    interactive = { target_ms = 2000.0; weight = 4 };
+    batch = { target_ms = 60000.0; weight = 1 };
+    feedback = true;
+    wall_clock = None }
+
+type tenant_state = {
+  tn_name : string;
+  tn_slo : Session.slo;
+  tn_weight : int;
+  tn_target_ms : float;
+  mutable tn_submitted : int;
+  mutable tn_completed : int;
+  mutable tn_failed : int;
+  mutable tn_cancelled : int;
+  mutable tn_shed : int;
+  mutable tn_replans : int;
+  mutable tn_violations : int;
+  mutable tn_queue_ms : float;
+  mutable tn_exec_ms : float;
+}
+
+type t = {
+  engine : Engine.t;
+  options : options;
+  broker : Broker.t;
+  cache : Stats_cache.t option;
+  trace : Trace.t option;
+  tenants : (string, tenant_state) Hashtbl.t;
+  queue : Session.stmt Admission.t;
+  mutable running : Session.stmt list;  (* admission order, oldest first *)
+  mutable all : Session.stmt list;      (* submission order, newest first *)
+  mutable next_stmt : int;
+  mutable next_session : int;
+  (* virtual clock: the latest point on the shared simulated timeline any
+     statement has reached.  Scheduling reads only this (and deadlines
+     derived from it), never the wall clock, so the interleaving — and
+     with it every simulated time — is deterministic. *)
+  mutable now_ms : float;
+  mutable rr : int;                     (* round-robin cursor *)
+  mutable wall_t0 : float;
+  mutable wall_last : float;
+}
+
+let wall t =
+  match t.options.wall_clock with Some clock -> clock () | None -> 0.0
+
+let create ?(options = default_options) ?trace engine =
+  if options.max_concurrency < 1 then
+    invalid_arg "Service.create: max_concurrency < 1";
+  let t =
+    { engine;
+      options;
+      broker =
+        Broker.create ~budget_pages:(Engine.budget_pages engine)
+          ~max_concurrency:options.max_concurrency;
+      cache = (if options.feedback then Some (Stats_cache.create ()) else None);
+      trace;
+      tenants = Hashtbl.create 4;
+      queue = Admission.create ~capacity:options.max_queue;
+      running = [];
+      all = [];
+      next_stmt = 0;
+      next_session = 0;
+      now_ms = 0.0;
+      rr = 0;
+      wall_t0 = 0.0;
+      wall_last = 0.0 }
+  in
+  t.wall_t0 <- wall t;
+  t.wall_last <- t.wall_t0;
+  t
+
+let engine t = t.engine
+let broker t = t.broker
+
+let class_of t (slo : Session.slo) =
+  match slo with
+  | Session.Interactive -> t.options.interactive
+  | Session.Batch -> t.options.batch
+
+let tenant_state t name =
+  match Hashtbl.find_opt t.tenants name with
+  | Some tn -> tn
+  | None -> invalid_arg (Printf.sprintf "Service: unknown tenant %s" name)
+
+let add_tenant ?weight ?target_ms t ~slo name =
+  if Hashtbl.mem t.tenants name then
+    invalid_arg (Printf.sprintf "Service.add_tenant: duplicate tenant %s" name);
+  let cls = class_of t slo in
+  let weight = Option.value ~default:cls.weight weight in
+  let target_ms = Option.value ~default:cls.target_ms target_ms in
+  Hashtbl.replace t.tenants name
+    { tn_name = name;
+      tn_slo = slo;
+      tn_weight = weight;
+      tn_target_ms = target_ms;
+      tn_submitted = 0;
+      tn_completed = 0;
+      tn_failed = 0;
+      tn_cancelled = 0;
+      tn_shed = 0;
+      tn_replans = 0;
+      tn_violations = 0;
+      tn_queue_ms = 0.0;
+      tn_exec_ms = 0.0 };
+  (* fair-share floors are an SLO-aware mechanism; the round-robin
+     baseline keeps the PR 1 global broker behaviour *)
+  if t.options.policy = Slo_aware then
+    Broker.register_tenant t.broker ~weight name
+
+let tenant_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.tenants []
+  |> List.sort compare
+
+(* --- per-tenant observability ----------------------------------------- *)
+
+let metric t fmt =
+  Printf.ksprintf
+    (fun name f ->
+       match t.trace with
+       | Some tr -> f (Trace.metrics tr) name
+       | None -> ())
+    fmt
+
+let observe_metric t ~tenant ~what v =
+  metric t "svc.%s.%s" tenant what (fun m name -> Metrics.observe m name v)
+
+let incr_metric ?(by = 1) t ~tenant ~what =
+  metric t "svc.%s.%s" tenant what (fun m name -> Metrics.incr m ~by name)
+
+(* --- sanitizer: per-tenant transient-page accounting ------------------- *)
+
+(* Whenever the scheduler observes its runs from outside a step — i.e. at
+   every decision point and at completion — each tenant's transient pages
+   (bloom bitmaps + worker pool slices over all its in-flight runs) must
+   sum to zero.  This is the service-level TEN-LIFETIME check the
+   sanitizer mode enables. *)
+let check_tenant_pages t ~what =
+  if Engine.verify_mode t.engine = Verifier.Sanitize then begin
+    let held = Hashtbl.create 4 in
+    List.iter
+      (fun (s : Session.stmt) ->
+         match s.Session.stmt_run with
+         | Some run ->
+           let pages =
+             Dispatcher.filter_pages_held run + Dispatcher.worker_pages_held run
+           in
+           Hashtbl.replace held s.Session.stmt_tenant
+             (pages
+              + Option.value ~default:0
+                  (Hashtbl.find_opt held s.Session.stmt_tenant))
+         | None -> ())
+      t.running;
+    Hashtbl.iter
+      (fun tenant pages ->
+         if pages <> 0 then Verifier.reject_tenant_pages ~what ~tenant ~pages)
+      held
+  end
+
+let tenant_pages_in_flight t name =
+  List.fold_left
+    (fun acc (s : Session.stmt) ->
+       match s.Session.stmt_run with
+       | Some run when s.Session.stmt_tenant = name ->
+         acc + Dispatcher.filter_pages_held run
+         + Dispatcher.worker_pages_held run
+       | _ -> acc)
+    0 t.running
+
+(* --- admission --------------------------------------------------------- *)
+
+let queued_count t = Admission.length t.queue
+
+let update_pending t = Broker.set_pending t.broker (queued_count t)
+
+let tenant_has_work t name =
+  List.exists
+    (fun (s : Session.stmt) ->
+       s.Session.stmt_tenant = name
+       && (match s.Session.stmt_status with
+           | Session.Running | Session.Queued -> true
+           | _ -> false))
+    t.all
+
+let refresh_activity t name =
+  Broker.set_tenant_active t.broker name (tenant_has_work t name)
+
+let can_admit_stmt t (s : Session.stmt) =
+  List.length t.running < t.options.max_concurrency
+  && (t.running = []
+      (* liveness valve: with nothing in flight the admission-floor and
+         fair-share reserves cannot be blocking anyone who is actually
+         using pages, so refusing here would deadlock the service (e.g.
+         max_concurrency 1 makes the floor the whole budget, which no
+         tenant's share ever covers).  The broker still clips the
+         admitted statement's lease to its tenant's entitlement. *)
+      || match t.options.policy with
+         | Round_robin -> Broker.can_admit t.broker
+         | Slo_aware -> Broker.can_admit_tenant t.broker s.Session.stmt_tenant)
+
+(* Start a statement: bind, open its trace lane on the shared timeline,
+   and hand it to the dispatcher under the tenant-tagged broker hook.
+   Any exception (parse error, verifier rejection) marks the statement
+   Failed without disturbing the service. *)
+let start_stmt t (s : Session.stmt) ~now =
+  let tn = tenant_state t s.Session.stmt_tenant in
+  s.Session.stmt_admit_ms <- Float.max s.Session.stmt_arrival_ms now;
+  s.Session.stmt_wall_admit <- wall t;
+  let queue_ms = s.Session.stmt_admit_ms -. s.Session.stmt_arrival_ms in
+  tn.tn_queue_ms <- tn.tn_queue_ms +. queue_ms;
+  observe_metric t ~tenant:tn.tn_name ~what:"queue_ms" queue_ms;
+  let scope =
+    Option.map
+      (fun tr ->
+         Trace.scope tr ~offset_ms:s.Session.stmt_admit_ms
+           ~tenant:s.Session.stmt_tenant
+           ~label:
+             (Printf.sprintf "%s/%s" s.Session.stmt_tenant
+                s.Session.stmt_label)
+           ())
+      t.trace
+  in
+  let tenant = s.Session.stmt_tenant in
+  let id = s.Session.stmt_id in
+  let broker_fn ~min_pages ~max_pages =
+    Broker.lease ~tenant t.broker ~id ~min_pages ~max_pages
+  in
+  let env_overlay =
+    Option.map
+      (fun c q env -> Stats_cache.overlay c (Engine.catalog t.engine) q env)
+      t.cache
+  in
+  Broker.set_tenant_active t.broker tenant true;
+  match
+    let query = Engine.bind_sql t.engine s.Session.stmt_sql in
+    let cfg =
+      Engine.dispatcher_config t.engine ~mode:s.Session.stmt_mode
+        ~broker:broker_fn ?env_overlay
+        ~temp_prefix:s.Session.stmt_temp_prefix ?trace:scope ()
+    in
+    (query, Dispatcher.start cfg query)
+  with
+  | query, run ->
+    s.Session.stmt_query <- Some query;
+    s.Session.stmt_run <- Some run;
+    s.Session.stmt_status <- Session.Running;
+    t.running <- t.running @ [ s ]
+  | exception e ->
+    Broker.release t.broker ~id;
+    s.Session.stmt_status <- Session.Failed (Printexc.to_string e);
+    tn.tn_failed <- tn.tn_failed + 1;
+    refresh_activity t tenant;
+    (match scope with
+     | Some sc -> Trace.unwind sc ~args:[ ("aborted", Trace.Bool true) ]
+                    ~ts_ms:0.0 ()
+     | None -> ())
+
+(* Drop queue entries cancelled while they waited. *)
+let rec purge_queue t =
+  match Admission.take_if t.queue Session.stmt_finished with
+  | Some _ -> purge_queue t
+  | None -> ()
+
+let rec try_admit t ~now =
+  purge_queue t;
+  update_pending t;
+  if List.length t.running < t.options.max_concurrency then
+    match Admission.take_if t.queue (can_admit_stmt t) with
+    | Some s ->
+      update_pending t;
+      start_stmt t s ~now;
+      try_admit t ~now
+    | None -> ()
+
+(* --- completion / failure / cancellation ------------------------------- *)
+
+(* Weighted re-grants: freed pages go to queued statements first, then
+   top up the runs still in flight — under the SLO-aware policy in order
+   of entitlement (least leased relative to tenant weight first), so the
+   broker's fair shares are re-filled before opportunistic growth. *)
+let regrant t =
+  let order =
+    match t.options.policy with
+    | Round_robin -> t.running
+    | Slo_aware ->
+      List.stable_sort
+        (fun (a : Session.stmt) (b : Session.stmt) ->
+           let key (s : Session.stmt) =
+             let tn = tenant_state t s.Session.stmt_tenant in
+             float_of_int (Broker.tenant_leased t.broker s.Session.stmt_tenant)
+             /. float_of_int (max 1 tn.tn_weight)
+           in
+           compare (key a) (key b))
+        t.running
+  in
+  List.iter
+    (fun (s : Session.stmt) ->
+       match s.Session.stmt_run with
+       | Some run -> Dispatcher.refresh_memory run
+       | None -> ())
+    order
+
+let retire t (s : Session.stmt) =
+  t.running <-
+    List.filter
+      (fun (o : Session.stmt) -> o.Session.stmt_id <> s.Session.stmt_id)
+      t.running;
+  Broker.release t.broker ~id:s.Session.stmt_id;
+  refresh_activity t s.Session.stmt_tenant;
+  metric t "svc.%s.broker_waits" s.Session.stmt_tenant (fun m name ->
+      Metrics.set_gauge m name
+        (float_of_int (Broker.tenant_floor_waits t.broker s.Session.stmt_tenant)))
+
+let complete_stmt t (s : Session.stmt) run (rep : Dispatcher.report) =
+  let tn = tenant_state t s.Session.stmt_tenant in
+  let elapsed = Dispatcher.run_elapsed_ms run in
+  s.Session.stmt_finish_ms <- s.Session.stmt_admit_ms +. elapsed;
+  s.Session.stmt_wall_finish <- wall t;
+  t.wall_last <- Float.max t.wall_last s.Session.stmt_wall_finish;
+  s.Session.stmt_status <- Session.Done rep;
+  t.now_ms <- Float.max t.now_ms s.Session.stmt_finish_ms;
+  tn.tn_completed <- tn.tn_completed + 1;
+  tn.tn_exec_ms <- tn.tn_exec_ms +. elapsed;
+  tn.tn_replans <- tn.tn_replans + rep.Dispatcher.switches;
+  if rep.Dispatcher.switches > 0 then
+    incr_metric ~by:rep.Dispatcher.switches t ~tenant:tn.tn_name
+      ~what:"replans";
+  let latency = s.Session.stmt_finish_ms -. s.Session.stmt_arrival_ms in
+  if latency > tn.tn_target_ms then begin
+    tn.tn_violations <- tn.tn_violations + 1;
+    incr_metric t ~tenant:tn.tn_name ~what:"slo_violations"
+  end;
+  observe_metric t ~tenant:tn.tn_name ~what:"latency_ms" latency;
+  retire t s;
+  (match s.Session.stmt_query, t.cache with
+   | Some query, Some c ->
+     Stats_cache.publish c (Engine.catalog t.engine) query rep
+   | _ -> ());
+  try_admit t ~now:s.Session.stmt_finish_ms;
+  regrant t
+
+let fail_stmt t (s : Session.stmt) msg =
+  let tn = tenant_state t s.Session.stmt_tenant in
+  s.Session.stmt_status <- Session.Failed msg;
+  s.Session.stmt_wall_finish <- wall t;
+  tn.tn_failed <- tn.tn_failed + 1;
+  retire t s;
+  try_admit t ~now:t.now_ms;
+  regrant t
+
+let cancel_stmt t (s : Session.stmt) =
+  let tn = tenant_state t s.Session.stmt_tenant in
+  (match s.Session.stmt_status with
+   | Session.Running ->
+     (match s.Session.stmt_run with
+      | Some run -> Dispatcher.abort run
+      | None -> ());
+     s.Session.stmt_status <- Session.Cancelled;
+     tn.tn_cancelled <- tn.tn_cancelled + 1;
+     retire t s;
+     try_admit t ~now:t.now_ms;
+     regrant t
+   | Session.Queued ->
+     (* stays in the admission queue; purged before the next admission *)
+     s.Session.stmt_status <- Session.Cancelled;
+     tn.tn_cancelled <- tn.tn_cancelled + 1;
+     update_pending t;
+     refresh_activity t s.Session.stmt_tenant
+   | _ -> ())
+
+(* --- submission -------------------------------------------------------- *)
+
+let submit_stmt t (s : Session.stmt) =
+  let tn = tenant_state t s.Session.stmt_tenant in
+  tn.tn_submitted <- tn.tn_submitted + 1;
+  s.Session.stmt_wall_submit <- wall t;
+  t.all <- s :: t.all;
+  if can_admit_stmt t s then start_stmt t s ~now:s.Session.stmt_arrival_ms
+  else begin
+    let deadline =
+      match t.options.policy with
+      | Round_robin -> infinity  (* plain FIFO: the PR 1 baseline *)
+      | Slo_aware -> s.Session.stmt_deadline_ms
+    in
+    Broker.set_tenant_active t.broker s.Session.stmt_tenant true;
+    if Admission.offer ~deadline t.queue ~priority:0 s then update_pending t
+    else begin
+      s.Session.stmt_status <- Session.Shed;
+      tn.tn_shed <- tn.tn_shed + 1;
+      incr_metric t ~tenant:tn.tn_name ~what:"shed";
+      refresh_activity t s.Session.stmt_tenant
+    end
+  end
+
+let open_session t ~tenant =
+  let tn = tenant_state t tenant in
+  let id = t.next_session in
+  t.next_session <- id + 1;
+  let hooks =
+    { Session.h_alloc_id =
+        (fun () ->
+           let id = t.next_stmt in
+           t.next_stmt <- id + 1;
+           id);
+      h_submit = (fun s -> submit_stmt t s);
+      h_cancel = (fun s -> cancel_stmt t s) }
+  in
+  Session.create ~hooks ~id ~tenant ~slo:tn.tn_slo ~target_ms:tn.tn_target_ms
+
+(* --- the scheduler loop ------------------------------------------------ *)
+
+(* Pick the next running statement to step.  Round-robin sweeps the
+   admission-order list; the SLO-aware policy steps the earliest
+   deadline (ties by statement id — deterministic either way). *)
+let pick t =
+  match t.running with
+  | [] -> None
+  | runs ->
+    (match t.options.policy with
+     | Round_robin ->
+       let n = List.length runs in
+       let s = List.nth runs (t.rr mod n) in
+       t.rr <- t.rr + 1;
+       Some s
+     | Slo_aware ->
+       Some
+         (List.fold_left
+            (fun (best : Session.stmt) (s : Session.stmt) ->
+               if
+                 s.Session.stmt_deadline_ms < best.Session.stmt_deadline_ms
+                 || (s.Session.stmt_deadline_ms
+                     = best.Session.stmt_deadline_ms
+                     && s.Session.stmt_id < best.Session.stmt_id)
+               then s
+               else best)
+            (List.hd runs) (List.tl runs)))
+
+(* Execute one execution unit of one statement.  Returns false once
+   nothing is running or admittable. *)
+let step t =
+  if t.running = [] then try_admit t ~now:t.now_ms;
+  match pick t with
+  | None -> false
+  | Some s ->
+    (match s.Session.stmt_run with
+     | None -> fail_stmt t s "lost dispatcher run"
+     | Some run ->
+       (match Dispatcher.step run with
+        | Some rep ->
+          complete_stmt t s run rep;
+          check_tenant_pages t ~what:"statement completion"
+        | None ->
+          (* statement paused at a decision point: advance the virtual
+             clock to the lane time it has reached *)
+          t.now_ms <-
+            Float.max t.now_ms
+              (s.Session.stmt_admit_ms +. Dispatcher.run_elapsed_ms run);
+          check_tenant_pages t ~what:"service decision point"
+        | exception (Verifier.Rejected _ as e) ->
+          (* sanitizer findings are bugs: tear the statement down (the
+             dispatcher already did) but let the rejection propagate *)
+          fail_stmt t s (Printexc.to_string e);
+          raise e
+        | exception e -> fail_stmt t s (Printexc.to_string e)));
+    true
+
+let rec drain t = if step t then drain t else ()
+
+let idle t = t.running = [] && queued_count t = 0
+
+(* --- reporting --------------------------------------------------------- *)
+
+type class_stats = {
+  cs_n : int;
+  cs_p50_ms : float;
+  cs_p99_ms : float;
+  cs_wall_p50_ms : float;
+  cs_wall_p99_ms : float;
+  cs_violations : int;
+}
+
+type tenant_summary = {
+  tns_tenant : string;
+  tns_slo : Session.slo;
+  tns_weight : int;
+  tns_submitted : int;
+  tns_completed : int;
+  tns_failed : int;
+  tns_cancelled : int;
+  tns_shed : int;
+  tns_replans : int;
+  tns_violations : int;
+  tns_queue_ms : float;
+  tns_exec_ms : float;
+  tns_peak_leased : int;
+  tns_broker_waits : int;
+}
+
+type report = {
+  statements : Session.stmt list;      (* submission order *)
+  classes : (Session.slo * class_stats) list;
+  tenants : tenant_summary list;
+  makespan_ms : float;
+  wall_makespan_ms : float;
+  peak_leased_pages : int;
+  outstanding_leases : int;
+  stats_published : int;
+  stats_applied : int;
+}
+
+(* Nearest-rank percentile over a non-empty list. *)
+let percentile q xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+    let n = List.length sorted in
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    List.nth sorted (max 0 (min (n - 1) (rank - 1)))
+
+let class_stats t slo =
+  let done_stmts =
+    List.filter
+      (fun (s : Session.stmt) ->
+         s.Session.stmt_slo = slo
+         && (match s.Session.stmt_status with
+             | Session.Done _ -> true
+             | _ -> false))
+      (List.rev t.all)
+  in
+  let latencies =
+    List.map
+      (fun (s : Session.stmt) ->
+         s.Session.stmt_finish_ms -. s.Session.stmt_arrival_ms)
+      done_stmts
+  in
+  let wall_latencies =
+    List.map
+      (fun (s : Session.stmt) ->
+         (s.Session.stmt_wall_finish -. s.Session.stmt_wall_submit) *. 1000.0)
+      done_stmts
+  in
+  let violations =
+    Hashtbl.fold
+      (fun _ tn acc -> if tn.tn_slo = slo then acc + tn.tn_violations else acc)
+      t.tenants 0
+  in
+  { cs_n = List.length done_stmts;
+    cs_p50_ms = percentile 0.50 latencies;
+    cs_p99_ms = percentile 0.99 latencies;
+    cs_wall_p50_ms = percentile 0.50 wall_latencies;
+    cs_wall_p99_ms = percentile 0.99 wall_latencies;
+    cs_violations = violations }
+
+let report t =
+  let statements = List.rev t.all in
+  let makespan_ms =
+    List.fold_left
+      (fun acc (s : Session.stmt) ->
+         Float.max acc s.Session.stmt_finish_ms)
+      0.0 statements
+  in
+  let tenants =
+    List.map
+      (fun name ->
+         let tn = tenant_state t name in
+         { tns_tenant = name;
+           tns_slo = tn.tn_slo;
+           tns_weight = tn.tn_weight;
+           tns_submitted = tn.tn_submitted;
+           tns_completed = tn.tn_completed;
+           tns_failed = tn.tn_failed;
+           tns_cancelled = tn.tn_cancelled;
+           tns_shed = tn.tn_shed;
+           tns_replans = tn.tn_replans;
+           tns_violations = tn.tn_violations;
+           tns_queue_ms = tn.tn_queue_ms;
+           tns_exec_ms = tn.tn_exec_ms;
+           tns_peak_leased = Broker.tenant_peak t.broker name;
+           tns_broker_waits = Broker.tenant_floor_waits t.broker name })
+      (tenant_names t)
+  in
+  { statements;
+    classes =
+      [ (Session.Interactive, class_stats t Session.Interactive);
+        (Session.Batch, class_stats t Session.Batch) ];
+    tenants;
+    makespan_ms;
+    wall_makespan_ms = (t.wall_last -. t.wall_t0) *. 1000.0;
+    peak_leased_pages = Broker.peak_leased t.broker;
+    outstanding_leases = Broker.outstanding t.broker;
+    stats_published =
+      (match t.cache with Some c -> Stats_cache.published c | None -> 0);
+    stats_applied =
+      (match t.cache with Some c -> Stats_cache.applied c | None -> 0) }
+
+let pp_report fmt (r : report) =
+  Fmt.pf fmt "@[<v>service: %d statements, makespan %.1f ms (sim)@,"
+    (List.length r.statements) r.makespan_ms;
+  if r.wall_makespan_ms > 0.0 then
+    Fmt.pf fmt "  wall makespan %.1f ms@," r.wall_makespan_ms;
+  List.iter
+    (fun (slo, (cs : class_stats)) ->
+       if cs.cs_n > 0 then
+         Fmt.pf fmt
+           "  %-11s n=%d  p50 %.1f ms  p99 %.1f ms  violations %d@,"
+           (Session.slo_to_string slo)
+           cs.cs_n cs.cs_p50_ms cs.cs_p99_ms cs.cs_violations)
+    r.classes;
+  List.iter
+    (fun tn ->
+       Fmt.pf fmt
+         "  tenant %-10s [%s w=%d] %d/%d done  %d failed  %d cancelled  %d \
+          shed  queue %.1f ms  exec %.1f ms  replans %d  peak %d pages@,"
+         tn.tns_tenant
+         (Session.slo_to_string tn.tns_slo)
+         tn.tns_weight tn.tns_completed tn.tns_submitted tn.tns_failed
+         tn.tns_cancelled tn.tns_shed tn.tns_queue_ms tn.tns_exec_ms
+         tn.tns_replans tn.tns_peak_leased)
+    r.tenants;
+  Fmt.pf fmt "  peak leased %d pages  outstanding %d  stats %d/%d@]"
+    r.peak_leased_pages r.outstanding_leases r.stats_published r.stats_applied

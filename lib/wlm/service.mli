@@ -1,0 +1,129 @@
+(** The query service: a wall-clock scheduler multiplexing N concurrent
+    sessions over one engine.
+
+    This is the persistent, multi-tenant front half of the workload
+    manager: tenants register with a latency-SLO class (interactive or
+    batch), open long-lived {!Session}s, and submit statements that the
+    scheduler admits (EDF over SLO deadlines under {!Slo_aware};
+    FIFO + round-robin under {!Round_robin}, the PR 1 baseline),
+    multiplexes one execution unit at a time over the shared
+    {!Mqr_core.Dispatcher} step API, and funds through a tenant-aware
+    {!Broker} (weighted fair-share floors, re-grants on completion).
+
+    {b Determinism.}  Scheduling reads only the service's virtual
+    simulated timeline — deadlines, admission times, broker state —
+    never the wall clock.  The wall clock (injected via
+    {!options.wall_clock}; the wlm library itself does not link unix) is
+    measured and reported only.  Consequently result rows are
+    byte-identical and simulated times bit-identical regardless of the
+    engine's domain-pool size; real parallelism comes from intra-operator
+    exchange workers and shows up purely in the wall numbers.
+
+    {b Sanitizer.}  When the engine runs with [verify_plans = Sanitize],
+    the scheduler additionally asserts at every decision point and at
+    every completion that each tenant's transient pages (bloom bitmaps +
+    worker pool slices over all its in-flight runs) sum to zero —
+    [TEN-LIFETIME], the multi-tenant generalization of RF-/PAR-LIFETIME. *)
+
+type policy =
+  | Round_robin  (** FIFO admission, round-robin stepping (PR 1 baseline);
+                     tenants share the broker globally *)
+  | Slo_aware    (** EDF admission and stepping over SLO deadlines;
+                     tenant fair-share floors in the broker *)
+
+val policy_to_string : policy -> string
+
+(** Defaults for one SLO class: the latency target statements inherit as
+    deadline, and the broker fair-share weight. *)
+type slo_class = { target_ms : float; weight : int }
+
+type options = {
+  max_concurrency : int;            (** in-flight statement slots *)
+  max_queue : int;                  (** admission queue bound (then shed) *)
+  policy : policy;
+  interactive : slo_class;
+  batch : slo_class;
+  feedback : bool;                  (** cross-query statistics cache *)
+  wall_clock : (unit -> float) option;
+      (** seconds; e.g. [Unix.gettimeofday].  [None] = wall numbers 0. *)
+}
+
+val default_options : options
+
+type t
+
+(** The service owns its broker and admission queue; the engine (and its
+    domain pool, catalog, verifier mode) is shared across tenants. *)
+val create : ?options:options -> ?trace:Mqr_obs.Trace.t -> Mqr_core.Engine.t -> t
+
+val engine : t -> Mqr_core.Engine.t
+val broker : t -> Broker.t
+
+(** Register a tenant before opening sessions for it.  [weight] and
+    [target_ms] default to the options' class values.  Raises on
+    duplicates. *)
+val add_tenant :
+  ?weight:int -> ?target_ms:float -> t -> slo:Session.slo -> string -> unit
+
+val tenant_names : t -> string list
+
+(** Open a session for a registered tenant.  Raises [Invalid_argument]
+    for an unknown tenant. *)
+val open_session : t -> tenant:string -> Session.t
+
+(** Execute one execution unit of one statement (possibly admitting
+    queued statements first).  Returns [false] when nothing is running
+    or admittable. *)
+val step : t -> bool
+
+(** Step until idle. *)
+val drain : t -> unit
+
+val idle : t -> bool
+
+(** Sum of transient pages (filter + worker) currently held by a
+    tenant's in-flight runs — 0 whenever observed between steps. *)
+val tenant_pages_in_flight : t -> string -> int
+
+(** {2 Reporting} *)
+
+type class_stats = {
+  cs_n : int;               (** completed statements in the class *)
+  cs_p50_ms : float;        (** simulated latency (finish - arrival) *)
+  cs_p99_ms : float;
+  cs_wall_p50_ms : float;   (** wall latency (finish - submit), ms *)
+  cs_wall_p99_ms : float;
+  cs_violations : int;      (** statements past their SLO target *)
+}
+
+type tenant_summary = {
+  tns_tenant : string;
+  tns_slo : Session.slo;
+  tns_weight : int;
+  tns_submitted : int;
+  tns_completed : int;
+  tns_failed : int;
+  tns_cancelled : int;
+  tns_shed : int;
+  tns_replans : int;        (** mid-query plan switches, summed *)
+  tns_violations : int;
+  tns_queue_ms : float;
+  tns_exec_ms : float;
+  tns_peak_leased : int;
+  tns_broker_waits : int;   (** leases clipped by other tenants' floors *)
+}
+
+type report = {
+  statements : Session.stmt list;  (** submission order *)
+  classes : (Session.slo * class_stats) list;
+  tenants : tenant_summary list;
+  makespan_ms : float;             (** simulated *)
+  wall_makespan_ms : float;        (** 0 without a wall clock *)
+  peak_leased_pages : int;
+  outstanding_leases : int;        (** 0 once drained *)
+  stats_published : int;
+  stats_applied : int;
+}
+
+val report : t -> report
+val pp_report : Format.formatter -> report -> unit

@@ -21,6 +21,7 @@ let () =
       ("pardet", Test_pardet.suite);
       ("tpcd", Test_tpcd.suite);
       ("wlm", Test_wlm.suite);
+      ("service", Test_service.suite);
       ("rf", Test_rf.suite);
       ("verify", Test_verify.suite);
       ("bounds", Test_bounds.suite);

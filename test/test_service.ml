@@ -1,0 +1,277 @@
+(* Query service: session lifecycle, SLO-aware scheduling, determinism,
+   failure isolation, cancellation and teardown. *)
+module Engine = Mqr_core.Engine
+module Dispatcher = Mqr_core.Dispatcher
+module Verifier = Mqr_analysis.Verifier
+module Optimizer = Mqr_opt.Optimizer
+module Service = Mqr_wlm.Service
+module Session = Mqr_wlm.Session
+module Broker = Mqr_wlm.Broker
+module Queries = Mqr_tpcd.Queries
+module Tpcd = Mqr_tpcd.Workload
+
+let sql n = (Queries.find n).Queries.sql
+
+let engine ?(parallel = 1) ?(verify = Verifier.Off) () =
+  let catalog = Tpcd.experiment_catalog ~sf:0.001 () in
+  Engine.create ~budget_pages:128 ~pool_pages:512 ~verify_plans:verify
+    ~opt_options:{ Optimizer.default_options with Optimizer.max_dop = 2 }
+    ~parallel catalog
+
+let service ?(policy = Service.Slo_aware) ?(max_concurrency = 2) eng =
+  Service.create
+    ~options:
+      { Service.default_options with Service.policy; max_concurrency }
+    eng
+
+(* The bench scenario in miniature: batch work arrives first, interactive
+   statements must overtake it.  Returns the sessions in (etl, web)
+   order; every statement is drained to a terminal status. *)
+let mixed_workload svc =
+  Service.add_tenant svc ~slo:Session.Batch "etl";
+  Service.add_tenant svc ~slo:Session.Interactive "web";
+  let e = Service.open_session svc ~tenant:"etl" in
+  let w = Service.open_session svc ~tenant:"web" in
+  ignore (Session.submit ~label:"q5" ~arrival_ms:0.0 e (sql "Q5"));
+  ignore (Session.submit ~label:"q10" ~arrival_ms:0.0 e (sql "Q10"));
+  ignore (Session.submit ~label:"q3" ~arrival_ms:5.0 w (sql "Q3"));
+  ignore (Session.submit ~label:"q6" ~arrival_ms:10.0 w (sql "Q6"));
+  Service.drain svc;
+  (e, w)
+
+let assert_all_done sess =
+  List.iter
+    (fun (s : Session.stmt) ->
+       Alcotest.(check string) (s.Session.stmt_label ^ " done") "done"
+         (Session.status_to_string s.Session.stmt_status))
+    (Session.statements sess)
+
+let stmt_rows (s : Session.stmt) =
+  match s.Session.stmt_status with
+  | Session.Done r -> r.Dispatcher.rows
+  | _ -> Alcotest.failf "%s not done" s.Session.stmt_label
+
+(* --- result identity --- *)
+
+let test_rows_match_solo () =
+  let eng = engine () in
+  let svc = service eng in
+  let e, w = mixed_workload svc in
+  assert_all_done e;
+  assert_all_done w;
+  List.iter
+    (fun (s : Session.stmt) ->
+       let solo = Engine.run_sql (engine ()) s.Session.stmt_sql in
+       Alcotest.(check bool)
+         (s.Session.stmt_label ^ " rows bit-identical to solo run") true
+         (stmt_rows s = solo.Dispatcher.rows))
+    (Session.statements e @ Session.statements w);
+  let r = Service.report svc in
+  Alcotest.(check int) "no lease outlives its statement" 0
+    r.Service.outstanding_leases;
+  Engine.shutdown eng
+
+(* --- determinism --- *)
+
+let fingerprint svc sessions =
+  let r = Service.report svc in
+  ( r.Service.makespan_ms,
+    List.concat_map
+      (fun sess ->
+         List.map
+           (fun (s : Session.stmt) ->
+              ( s.Session.stmt_label,
+                Session.status_to_string s.Session.stmt_status,
+                s.Session.stmt_admit_ms,
+                s.Session.stmt_finish_ms,
+                Reference.canonical (stmt_rows s) ))
+           (Session.statements sess))
+      sessions )
+
+let test_deterministic () =
+  let run () =
+    let eng = engine () in
+    let svc = service eng in
+    let e, w = mixed_workload svc in
+    let fp = fingerprint svc [ e; w ] in
+    Engine.shutdown eng;
+    fp
+  in
+  let m1, fp1 = run () in
+  let m2, fp2 = run () in
+  Alcotest.(check (float 0.0)) "same simulated makespan" m1 m2;
+  List.iter2
+    (fun (l1, st1, a1, f1, rows1) (l2, st2, a2, f2, rows2) ->
+       Alcotest.(check string) "same label" l1 l2;
+       Alcotest.(check string) (l1 ^ " same status") st1 st2;
+       Alcotest.(check (float 0.0)) (l1 ^ " same admit") a1 a2;
+       Alcotest.(check (float 0.0)) (l1 ^ " same finish") f1 f2;
+       Alcotest.(check (list (list string))) (l1 ^ " same rows") rows1 rows2)
+    fp1 fp2
+
+let test_pool_invisible_to_simulation () =
+  let run parallel =
+    let eng = engine ~parallel () in
+    let svc = service eng in
+    let e, w = mixed_workload svc in
+    let fp = fingerprint svc [ e; w ] in
+    Engine.shutdown eng;
+    fp
+  in
+  let m1, fp1 = run 1 in
+  let m2, fp2 = run 2 in
+  Alcotest.(check (float 0.0)) "pool size invisible to makespan" m1 m2;
+  List.iter2
+    (fun (l1, _, _, f1, rows1) (_, _, _, f2, rows2) ->
+       Alcotest.(check (float 0.0)) (l1 ^ " same finish across pools") f1 f2;
+       Alcotest.(check (list (list string)))
+         (l1 ^ " same rows across pools") rows1 rows2)
+    fp1 fp2
+
+(* --- SLO-aware scheduling --- *)
+
+let interactive_p99 svc =
+  let r = Service.report svc in
+  (List.assoc Session.Interactive r.Service.classes).Service.cs_p99_ms
+
+let test_slo_aware_beats_round_robin () =
+  let run policy =
+    let eng = engine () in
+    let svc = service ~policy ~max_concurrency:1 eng in
+    let e, w = mixed_workload svc in
+    assert_all_done e;
+    assert_all_done w;
+    let p99 = interactive_p99 svc in
+    Engine.shutdown eng;
+    p99
+  in
+  let rr = run Service.Round_robin in
+  let slo = run Service.Slo_aware in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "interactive p99 improves under EDF (rr %.1fms, slo-aware %.1fms)" rr
+       slo)
+    true (slo < rr)
+
+(* --- session lifecycle --- *)
+
+let test_lifecycle () =
+  let eng = engine () in
+  let svc = service ~max_concurrency:1 eng in
+  Service.add_tenant svc ~slo:Session.Interactive "web";
+  let s = Service.open_session svc ~tenant:"web" in
+  let q5 = Session.submit ~label:"q5" s (sql "Q5") in
+  Alcotest.(check string) "admitted eagerly into the free slot" "running"
+    (Session.status_to_string (Session.poll s q5));
+  let q6 = Session.submit ~label:"q6" s (sql "Q6") in
+  Alcotest.(check string) "second waits for the slot" "queued"
+    (Session.status_to_string (Session.poll s q6));
+  ignore (Service.step svc);
+  Alcotest.(check string) "still running after a step" "running"
+    (Session.status_to_string (Session.poll s q5));
+  Alcotest.(check bool) "cancel queued statement" true (Session.cancel s q6);
+  Service.drain svc;
+  Alcotest.(check string) "first completed" "done"
+    (Session.status_to_string (Session.poll s q5));
+  Alcotest.(check string) "second stayed cancelled" "cancelled"
+    (Session.status_to_string (Session.poll s q6));
+  Alcotest.(check bool) "result available once done" true
+    (Session.result s q5 <> None);
+  Alcotest.(check bool) "cancelling a finished statement is a no-op" false
+    (Session.cancel s q5);
+  Session.close s;
+  Alcotest.(check bool) "closed" true (Session.closed s);
+  Alcotest.check_raises "submit on a closed session"
+    (Invalid_argument "Session.submit: session is closed") (fun () ->
+      ignore (Session.submit s (sql "Q6")));
+  Engine.shutdown eng
+
+let test_cancel_running_releases_lease () =
+  let eng = engine () in
+  let svc = service ~max_concurrency:1 eng in
+  Service.add_tenant svc ~slo:Session.Batch "etl";
+  let s = Service.open_session svc ~tenant:"etl" in
+  let q5 = Session.submit ~label:"q5" s (sql "Q5") in
+  ignore (Service.step svc);
+  ignore (Service.step svc);
+  Alcotest.(check string) "running mid-flight" "running"
+    (Session.status_to_string (Session.poll s q5));
+  Alcotest.(check bool) "cancel running statement" true (Session.cancel s q5);
+  Alcotest.(check string) "cancelled" "cancelled"
+    (Session.status_to_string (Session.poll s q5));
+  Alcotest.(check int) "lease released on cancel" 0
+    (Broker.outstanding (Service.broker svc));
+  Alcotest.(check int) "no transient pages left" 0
+    (Service.tenant_pages_in_flight svc "etl");
+  (* the slot is free again: the session keeps serving *)
+  let q6 = Session.submit ~label:"q6" s (sql "Q6") in
+  Service.drain svc;
+  Alcotest.(check string) "later statement completes" "done"
+    (Session.status_to_string (Session.poll s q6));
+  Engine.shutdown eng
+
+(* --- failure isolation --- *)
+
+let test_failure_isolated () =
+  let eng = engine () in
+  let svc = service eng in
+  Service.add_tenant svc ~slo:Session.Interactive "web";
+  let s = Service.open_session svc ~tenant:"web" in
+  let bad = Session.submit ~label:"bad" s "select nope from lineitem" in
+  let good = Session.submit ~label:"good" s (sql "Q6") in
+  Service.drain svc;
+  (match Session.poll s bad with
+   | Session.Failed _ -> ()
+   | st ->
+     Alcotest.failf "expected failed, got %s" (Session.status_to_string st));
+  Alcotest.(check string) "good statement unaffected" "done"
+    (Session.status_to_string (Session.poll s good));
+  Alcotest.(check int) "failed statement released its lease" 0
+    (Broker.outstanding (Service.broker svc));
+  (* the session survives: submit again after the failure *)
+  let again = Session.submit ~label:"again" s (sql "Q6") in
+  Service.drain svc;
+  Alcotest.(check string) "service keeps serving" "done"
+    (Session.status_to_string (Session.poll s again));
+  Engine.shutdown eng
+
+(* --- sanitizer + teardown --- *)
+
+let test_sanitize_clean () =
+  let eng = engine ~verify:Verifier.Sanitize () in
+  let svc = service eng in
+  let e, w = mixed_workload svc in
+  assert_all_done e;
+  assert_all_done w;
+  Alcotest.(check int) "TEN-LIFETIME: etl pages zero" 0
+    (Service.tenant_pages_in_flight svc "etl");
+  Alcotest.(check int) "TEN-LIFETIME: web pages zero" 0
+    (Service.tenant_pages_in_flight svc "web");
+  Engine.shutdown eng
+
+let test_shutdown_idempotent () =
+  let eng = engine ~parallel:2 () in
+  let svc = service eng in
+  let e, w = mixed_workload svc in
+  assert_all_done e;
+  assert_all_done w;
+  Engine.shutdown eng;
+  (* every error path of a long-lived host may call shutdown again *)
+  Engine.shutdown eng;
+  Engine.shutdown eng
+
+let suite =
+  [ Alcotest.test_case "rows match solo execution" `Quick
+      test_rows_match_solo;
+    Alcotest.test_case "service deterministic" `Quick test_deterministic;
+    Alcotest.test_case "pool invisible to simulation" `Quick
+      test_pool_invisible_to_simulation;
+    Alcotest.test_case "slo-aware beats round-robin" `Quick
+      test_slo_aware_beats_round_robin;
+    Alcotest.test_case "session lifecycle" `Quick test_lifecycle;
+    Alcotest.test_case "cancel running releases lease" `Quick
+      test_cancel_running_releases_lease;
+    Alcotest.test_case "failure isolated" `Quick test_failure_isolated;
+    Alcotest.test_case "sanitizer clean under service" `Quick
+      test_sanitize_clean;
+    Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent ]

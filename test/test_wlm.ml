@@ -66,6 +66,58 @@ let test_broker_admission_floor () =
   Broker.release b ~id:1;
   Alcotest.(check bool) "admits again after release" true (Broker.can_admit b)
 
+let test_broker_tenant_floors_prevent_starvation () =
+  let b = Broker.create ~budget_pages:100 ~max_concurrency:4 in
+  Broker.register_tenant b ~weight:1 "alpha";
+  Broker.register_tenant b ~weight:1 "beta";
+  Broker.set_tenant_active b "alpha" true;
+  Broker.set_tenant_active b "beta" true;
+  Alcotest.(check int) "equal weights split the budget" 50
+    (Broker.tenant_share b "alpha");
+  (* a greedy alpha lease is clipped at the pages beta is entitled to *)
+  Alcotest.(check int) "greedy lease stops at the other share" 50
+    (Broker.lease b ~tenant:"alpha" ~id:1 ~min_pages:10 ~max_pages:400);
+  Alcotest.(check bool) "the clip is counted as a broker wait" true
+    (Broker.tenant_floor_waits b "alpha" >= 1);
+  Alcotest.(check bool) "beta can still admit" true
+    (Broker.can_admit_tenant b "beta");
+  Alcotest.(check int) "beta gets its full share despite alpha" 50
+    (Broker.lease b ~tenant:"beta" ~id:2 ~min_pages:10 ~max_pages:400);
+  (* work-conserving: an idle tenant's share is available to everyone *)
+  Broker.release b ~id:1;
+  Broker.release b ~id:2;
+  Broker.set_tenant_active b "beta" false;
+  Alcotest.(check int) "idle share is not reserved" 100
+    (Broker.lease b ~tenant:"alpha" ~id:3 ~min_pages:10 ~max_pages:400);
+  Broker.release b ~id:3
+
+let test_broker_tenant_lease_accounting () =
+  let b = Broker.create ~budget_pages:100 ~max_concurrency:4 in
+  Broker.register_tenant b ~weight:3 "alpha";
+  Broker.register_tenant b ~weight:1 "beta";
+  Alcotest.(check int) "weighted share" 75 (Broker.tenant_share b "alpha");
+  ignore (Broker.lease b ~tenant:"alpha" ~id:1 ~min_pages:10 ~max_pages:40);
+  ignore (Broker.lease b ~tenant:"alpha" ~id:2 ~min_pages:10 ~max_pages:20);
+  ignore (Broker.lease b ~tenant:"beta" ~id:3 ~min_pages:10 ~max_pages:25);
+  Alcotest.(check int) "leases sum per tenant" 60
+    (Broker.tenant_leased b "alpha");
+  Alcotest.(check int) "other tenant tracked separately" 25
+    (Broker.tenant_leased b "beta");
+  (* a shrinking re-negotiation is reflected in the owner's account *)
+  ignore (Broker.lease b ~tenant:"alpha" ~id:1 ~min_pages:10 ~max_pages:10);
+  Alcotest.(check int) "shrink returns tenant pages" 30
+    (Broker.tenant_leased b "alpha");
+  Broker.release b ~id:1;
+  Broker.release b ~id:2;
+  Broker.release b ~id:3;
+  Alcotest.(check int) "alpha account back to zero" 0
+    (Broker.tenant_leased b "alpha");
+  Alcotest.(check int) "beta account back to zero" 0
+    (Broker.tenant_leased b "beta");
+  Alcotest.(check int) "peak remembers the high-water mark" 60
+    (Broker.tenant_peak b "alpha");
+  Alcotest.(check int) "no leases outstanding" 0 (Broker.outstanding b)
+
 (* --- admission queue --- *)
 
 let test_admission_priority_order () =
@@ -80,6 +132,37 @@ let test_admission_priority_order () =
     (Admission.take q);
   Alcotest.(check (option string)) "lowest last" (Some "a") (Admission.take q);
   Alcotest.(check (option string)) "empty" None (Admission.take q)
+
+let test_admission_deadline_order () =
+  let q = Admission.create ~capacity:4 in
+  (* no deadline = infinity: priority order is preserved exactly *)
+  Alcotest.(check bool) "offer slack" true
+    (Admission.offer q ~priority:9 "slack");
+  Alcotest.(check bool) "offer late" true
+    (Admission.offer q ~deadline:100.0 ~priority:0 "late");
+  Alcotest.(check bool) "offer soon" true
+    (Admission.offer q ~deadline:5.0 ~priority:0 "soon");
+  (* the tightest deadline overtakes everything, even higher priority *)
+  Alcotest.(check (option string)) "earliest deadline first" (Some "soon")
+    (Admission.take q);
+  Alcotest.(check (option string)) "next deadline" (Some "late")
+    (Admission.take q);
+  Alcotest.(check (option string)) "no deadline last" (Some "slack")
+    (Admission.take q)
+
+let test_admission_take_if_skips () =
+  let q = Admission.create ~capacity:4 in
+  ignore (Admission.offer q ~deadline:5.0 ~priority:0 "capped");
+  ignore (Admission.offer q ~deadline:10.0 ~priority:0 "second");
+  ignore (Admission.offer q ~priority:0 "third");
+  (* the head's tenant is at its cap: skip it without reordering *)
+  Alcotest.(check (option string)) "best eligible item" (Some "second")
+    (Admission.take_if q (fun x -> x <> "capped"));
+  Alcotest.(check (option string)) "skipped head still first" (Some "capped")
+    (Admission.take q);
+  Alcotest.(check (option string)) "rest untouched" (Some "third")
+    (Admission.take q);
+  Alcotest.(check bool) "drained" true (Admission.is_empty q)
 
 (* --- workload --- *)
 
@@ -187,8 +270,16 @@ let suite =
       test_broker_reserves_floor_for_pending;
     Alcotest.test_case "broker admission floor" `Quick
       test_broker_admission_floor;
+    Alcotest.test_case "broker tenant floors prevent starvation" `Quick
+      test_broker_tenant_floors_prevent_starvation;
+    Alcotest.test_case "broker tenant lease accounting" `Quick
+      test_broker_tenant_lease_accounting;
     Alcotest.test_case "admission priority order" `Quick
       test_admission_priority_order;
+    Alcotest.test_case "admission deadline order" `Quick
+      test_admission_deadline_order;
+    Alcotest.test_case "admission take_if skips" `Quick
+      test_admission_take_if_skips;
     Alcotest.test_case "concurrent matches serial" `Quick
       test_concurrent_matches_serial;
     Alcotest.test_case "workload deterministic" `Quick
