@@ -915,9 +915,9 @@ let service_scenario () =
         rep.Service.statements )
   in
   Fmt.pr
-    "%4s %-12s | %10s %9s %9s | %8s %8s | %8s %8s | %4s %5s  %s@." "pool"
+    "%4s %-12s | %10s %9s %9s | %8s %8s | %8s %8s | %4s %4s %5s  %s@." "pool"
     "policy" "mksp(sim)" "wall-min" "wall-med" "int-p50" "int-p99" "bat-p50"
-    "bat-p99" "viol" "waits" "rows";
+    "bat-p99" "viol" "miss" "waits" "rows";
   let mismatches = ref 0 in
   let p99s = Hashtbl.create 8 in
   List.iter
@@ -961,6 +961,14 @@ let service_scenario () =
                    acc + t.Service.tns_replans)
                 0 rep.Service.tenants
             in
+            (* terminal statements that never completed by their deadline
+               (late completions + failed/cancelled/shed) *)
+            let misses =
+              List.fold_left
+                (fun acc (t : Service.tenant_summary) ->
+                   acc + t.Service.tns_deadline_miss)
+                0 rep.Service.tenants
+            in
             let scenario =
               Fmt.str "service/pool=%d/%s" pool
                 (Service.policy_to_string policy)
@@ -978,17 +986,19 @@ let service_scenario () =
               ~elapsed_ms:int_c.Service.cs_p99_ms ~switches:0 ~collectors:0;
             record ~scenario ~mode:"batch-p99-sim"
               ~elapsed_ms:bat_c.Service.cs_p99_ms ~switches:0 ~collectors:0;
+            record ~scenario ~mode:"deadline-misses"
+              ~elapsed_ms:(float_of_int misses) ~switches:0 ~collectors:0;
             Hashtbl.replace p99s (pool, policy) int_c.Service.cs_p99_ms;
             Fmt.pr
               "%4d %-12s | %10.1f %9.1f %9.1f | %8.1f %8.1f | %8.1f %8.1f \
-               | %4d %5d  %s@."
+               | %4d %4d %5d  %s@."
               pool
               (Service.policy_to_string policy)
               rep.Service.makespan_ms wall_min wall_med
               int_c.Service.cs_p50_ms int_c.Service.cs_p99_ms
               bat_c.Service.cs_p50_ms bat_c.Service.cs_p99_ms
               (int_c.Service.cs_violations + bat_c.Service.cs_violations)
-              waits
+              misses waits
               (if rep_stable && pool_stable && rows_ok then "yes"
                else "** MISMATCH **"))
          [ 1; 4; 8 ])
@@ -1011,6 +1021,102 @@ let service_scenario () =
        execution byte-for-byte, and the sanitizer saw@.zero per-tenant \
        transient pages at every decision point.@."
   else Fmt.pr "@.** %d service mismatches **@." !mismatches
+
+(* ------------------------------------------------------------------ *)
+(* Progress/ETA estimation: at every decision point the estimator folds
+   the simulated clock, the remainder plan's Eq.1 cost and the provable
+   remaining-cost interval into percent-done and an ETA interval.
+   Attaching it is pure observation, so rows must stay byte-identical
+   and simulated times bit-identical.  Accuracy is measured as the error
+   of the finish-time forecast made at the FIRST update (the hardest
+   one: nothing has executed yet) against the actual finish; every
+   update stream must be monotone and land at exactly 100%.            *)
+
+let progress_scenario () =
+  let module Progress = Mqr_obs.Progress in
+  header
+    (Fmt.str
+       "Progress/ETA estimation - every query x reopt mode (sf=%g, \
+        budget=%d pages)"
+       sf budget_pages);
+  let modes =
+    [ Dispatcher.Off; Dispatcher.Memory_only; Dispatcher.Plan_only;
+      Dispatcher.Full; Dispatcher.Bound_checked ]
+  in
+  Fmt.pr "%-5s %-14s | %10s %12s %8s %7s %7s %9s  %s@." "query" "mode"
+    "actual(ms)" "eta@start" "err%" "updates" "cover%" "monotone" "identical";
+  let mismatches = ref 0 and non_monotone = ref 0 and runs = ref 0 in
+  List.iter
+    (fun mode ->
+       let catalog = Workload.experiment_catalog ~sf () in
+       (* one catalog, two engines: the estimator is the only difference *)
+       let plain = Engine.create ~budget_pages ~pool_pages catalog in
+       let probed = Engine.create ~budget_pages ~pool_pages catalog in
+       List.iter
+         (fun (q : Queries.query) ->
+            incr runs;
+            let off = Engine.run_sql plain ~mode q.Queries.sql in
+            let p = Progress.create () in
+            let on = Engine.run_sql probed ~mode ~progress:p q.Queries.sql in
+            let identical =
+              on.Dispatcher.elapsed_ms = off.Dispatcher.elapsed_ms
+              && on.Dispatcher.rows = off.Dispatcher.rows
+            in
+            if not identical then incr mismatches;
+            let samples = Progress.samples p in
+            let actual = on.Dispatcher.elapsed_ms in
+            let monotone =
+              Progress.monotone p && Progress.finished p
+              && (match Progress.latest p with
+                  | Some s -> s.Progress.percent = 100.0
+                  | None -> false)
+            in
+            if not monotone then incr non_monotone;
+            let first_est =
+              match samples with
+              | s :: _ -> s.Progress.ts_ms +. s.Progress.remaining_est_ms
+              | [] -> 0.0
+            in
+            let err_pct =
+              100.0 *. Float.abs (first_est -. actual) /. actual
+            in
+            (* how often the provable ETA interval brackets the truth *)
+            let covered =
+              List.length
+                (List.filter
+                   (fun (s : Progress.sample) ->
+                      s.Progress.eta_lo_ms <= actual
+                      && actual <= s.Progress.eta_hi_ms)
+                   samples)
+            in
+            let cover_pct =
+              100.0 *. float_of_int covered
+              /. float_of_int (max 1 (List.length samples))
+            in
+            record ~scenario:("progress/" ^ q.Queries.name)
+              ~mode:(Dispatcher.mode_to_string mode)
+              ~elapsed_ms:(Float.abs (first_est -. actual))
+              ~switches:on.Dispatcher.switches
+              ~collectors:(List.length samples);
+            Fmt.pr "%-5s %-14s | %10.1f %12.1f %7.1f%% %7d %6.0f%% %9s  %s@."
+              q.Queries.name
+              (Dispatcher.mode_to_string mode)
+              actual first_est err_pct (List.length samples) cover_pct
+              (if monotone then "yes" else "** NO **")
+              (if identical then "yes" else "** MISMATCH **"))
+         Queries.all;
+       Engine.shutdown plain;
+       Engine.shutdown probed)
+    modes;
+  if !mismatches = 0 && !non_monotone = 0 then
+    Fmt.pr
+      "@.The estimator is pure observation (rows byte-identical, simulated \
+       times bit-identical@.with progress attached) and %d/%d update streams \
+       were monotone to exactly 100%%.@."
+      (!runs - !non_monotone) !runs
+  else
+    Fmt.pr "@.** %d identity mismatches, %d non-monotone streams **@."
+      !mismatches !non_monotone
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per figure/table id.       *)
@@ -1090,6 +1196,7 @@ let () =
    | "trace" -> trace_scenario ()
    | "parallel" -> parallel_scenario ()
    | "service" -> service_scenario ()
+   | "progress" -> progress_scenario ()
    | "micro" -> micro ()
    | "figures" ->
      figure10 ();
@@ -1113,12 +1220,13 @@ let () =
      trace_scenario ();
      parallel_scenario ();
      service_scenario ();
+     progress_scenario ();
      micro ()
    | other ->
      Fmt.epr
        "unknown experiment %S (f10 f11 f12 xfig3 sens overhead joins hist \
-        hybrid scale rf wlm sanitize bounds trace parallel service micro \
-        all)@."
+        hybrid scale rf wlm sanitize bounds trace parallel service progress \
+        micro all)@."
        other;
      exit 1)
     which;

@@ -129,7 +129,7 @@ let trace_out_arg =
 
 let run_cmd =
   let action query sf skew budget mode verbose pristine runtime_filters
-      verify sanitize trace_out parallel =
+      verify sanitize trace_out parallel progress_flag =
     friendly @@ fun () ->
     let tr = Option.map (fun _ -> Trace.create ()) trace_out in
     let engine =
@@ -138,7 +138,25 @@ let run_cmd =
     in
     let sql = resolve_sql query in
     Fmt.pr "running [%s]: %s@.@." (Dispatcher.mode_to_string mode) sql;
-    let report = Engine.run_sql engine ~mode sql in
+    let progress =
+      if progress_flag then Some (Mqr_obs.Progress.create ()) else None
+    in
+    let report = Engine.run_sql engine ~mode ?progress sql in
+    (match progress with
+     | Some p ->
+       List.iter
+         (fun (s : Mqr_obs.Progress.sample) ->
+            Fmt.pr
+              "progress #%d @%9.1f ms  %-8s %5.1f%%  remaining ~%.1f ms  \
+               eta [%.1f, %.1f] ms@."
+              s.Mqr_obs.Progress.seq s.Mqr_obs.Progress.ts_ms
+              (Mqr_obs.Progress.label_to_string s.Mqr_obs.Progress.label)
+              s.Mqr_obs.Progress.percent
+              s.Mqr_obs.Progress.remaining_est_ms
+              s.Mqr_obs.Progress.eta_lo_ms s.Mqr_obs.Progress.eta_hi_ms)
+         (Mqr_obs.Progress.samples p);
+       Fmt.pr "@."
+     | None -> ());
     Array.iter
       (fun t -> Fmt.pr "%a@." Mqr_storage.Tuple.pp t)
       report.Dispatcher.rows;
@@ -165,11 +183,17 @@ let run_cmd =
     | Some tr, Some file -> export_chrome tr file
     | _ -> ()
   in
+  let progress_arg =
+    let doc = "Print one decision-point progress line per estimator update \
+               (percent done and the provable ETA interval on the \
+               simulated clock)." in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
   let info = Cmd.info "run" ~doc:"Execute a query." in
   Cmd.v info
     Term.(const action $ query_arg $ sf_arg $ skew_arg $ budget_arg
           $ mode_arg $ verbose_arg $ pristine_arg $ rf_arg $ verify_arg
-          $ sanitize_arg $ trace_out_arg $ parallel_arg)
+          $ sanitize_arg $ trace_out_arg $ parallel_arg $ progress_arg)
 
 let explain_cmd =
   let explain_verify_arg =
@@ -563,7 +587,11 @@ let serve_cmd =
   let action driver wall sf skew budget mode pristine runtime_filters verify
       sanitize concurrency queue policy trace_out parallel =
     friendly @@ fun () ->
-    let tr = Option.map (fun _ -> Trace.create ()) trace_out in
+    (* the service always carries a trace so `monitor metrics` and
+       `monitor ledger` work without --trace; attaching one is pure
+       observation (zero simulated ms), and the chrome export stays
+       gated on the flag *)
+    let tr = Trace.create () in
     let engine =
       make_engine ~runtime_filters ~verify_plans:(verify_mode ~verify ~sanitize)
         ~parallel ~sf ~skew ~budget ~pristine ()
@@ -575,7 +603,7 @@ let serve_cmd =
         policy;
         wall_clock = (if wall then Some Unix.gettimeofday else None) }
     in
-    let svc = Service.create ~options ?trace:tr engine in
+    let svc = Service.create ~options ~trace:tr engine in
     let sessions : (string, Session.t) Hashtbl.t = Hashtbl.create 8 in
     let handles : (string, int) Hashtbl.t = Hashtbl.create 32 in
     let find_session name =
@@ -679,6 +707,38 @@ let serve_cmd =
         Session.close (find_session sname);
         Fmt.pr "session %s closed@." sname
       | "report" -> Fmt.pr "%a@." Service.pp_report (Service.report svc)
+      | "monitor" ->
+        (* monitor VIEW [json [FILE]] | monitor metrics [FILE] *)
+        let module Monitor = Mqr_wlm.Monitor in
+        let what, rest = split1 rest in
+        let emit file contents =
+          match file with
+          | "" -> print_string contents
+          | f ->
+            write_file f contents;
+            Fmt.pr "wrote %s@." f
+        in
+        (match what with
+         | "metrics" ->
+           let file, _ = split1 rest in
+           emit file (Monitor.prometheus svc)
+         | _ ->
+           (match Monitor.view_of_string what with
+            | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "serve: unknown monitor view %s (expected %s or metrics)"
+                   what
+                   (String.concat "|" Monitor.view_names))
+            | Some view ->
+              (match split1 rest with
+               | "json", rest ->
+                 let file, _ = split1 rest in
+                 emit file (Monitor.to_json svc view)
+               | "", _ -> print_string (Monitor.render svc view)
+               | fmt, _ ->
+                 invalid_arg
+                   (Printf.sprintf "serve: unknown monitor format %s" fmt))))
       | c -> invalid_arg (Printf.sprintf "serve: unknown command %s" c)
     in
     let ic = match driver with Some f -> open_in f | None -> stdin in
@@ -716,9 +776,9 @@ let serve_cmd =
       in
       loop ());
     Fmt.pr "bye.@.";
-    match tr, trace_out with
-    | Some tr, Some file -> export_chrome tr file
-    | _ -> ()
+    match trace_out with
+    | Some file -> export_chrome tr file
+    | None -> ()
   in
   let info =
     Cmd.info "serve"
@@ -728,7 +788,9 @@ let serve_cmd =
          interactive|batch [WEIGHT] [TARGET_MS]; session NAME TENANT; \
          submit SESSION LABEL [@ARRIVAL_MS] SQL; step [N]; drain; poll \
          SESSION LABEL; rows SESSION LABEL; cancel SESSION LABEL; close \
-         SESSION; report; quit."
+         SESSION; report; monitor \
+         statements|sessions|tenants|broker|ledger [json [FILE]]; monitor \
+         metrics [FILE]; quit."
   in
   Cmd.v info
     Term.(const action $ driver_arg $ wall_arg $ sf_arg $ skew_arg

@@ -24,6 +24,7 @@ module Diagnostic = Mqr_analysis.Diagnostic
 module Bounds = Mqr_analysis.Bounds
 module Trace = Mqr_obs.Trace
 module Metrics = Mqr_obs.Metrics
+module Progress = Mqr_obs.Progress
 
 let log_src = Logs.Src.create "mqr.dispatcher" ~doc:"Mid-query re-optimization"
 
@@ -76,6 +77,12 @@ type config = {
          are submitted to.  The pool only changes wall-clock time: result
          rows and simulated charges are functions of each operator's plan
          [dop], never of the pool size (None = run workers inline) *)
+  progress : Progress.t option;
+      (* when set, the run records a progress/ETA sample at start, at
+         every decision point, after every plan switch and on completion,
+         built from the remainder's Eq.1 estimate and its provable
+         remaining-cost interval; like tracing, progress is pure
+         observation and never charges the simulated clock *)
 }
 
 type event =
@@ -434,6 +441,29 @@ let assert_filters_retired st ~what =
 let bounds_env st =
   Bounds.env ~count_trusted:(fun name -> not (Hashtbl.mem st.store name))
     st.cfg.catalog
+
+(* Progress estimator feed: the remainder's Eq.1 estimate plus its
+   provable remaining-cost interval, read off the current plan at the
+   current simulated time.  Pure observation — reads the clock, never
+   charges it — so attaching progress leaves rows and simulated elapsed
+   bit-identical (same bar as tracing). *)
+let progress_update st label =
+  match st.cfg.progress with
+  | None -> ()
+  | Some p ->
+    let rem_est = st.current.Plan.est.Plan.total_ms in
+    let iv =
+      Bounds.cost_interval (bounds_env st) ~model:st.cfg.model
+        ~max_dop:st.cfg.opt_options.Optimizer.max_dop st.current
+    in
+    ignore
+      (Progress.update p ~label ~now_ms:(now st) ~remaining_est_ms:rem_est
+         ~remaining_lo_ms:iv.Bounds.lo ~remaining_hi_ms:iv.Bounds.hi)
+
+let progress_finish st =
+  match st.cfg.progress with
+  | None -> ()
+  | Some p -> ignore (Progress.finish p ~now_ms:(now st))
 
 (* The sanitizer's dynamic half of the bounds pass: every cardinality the
    executor just observed must lie inside its provable interval.  The
@@ -1232,7 +1262,8 @@ let try_replan ?(force = false) st =
          st.switches <- st.switches + 1;
          emit st (Ev_switched { t_new_total; t_improved; materialize_ms });
          if st.cfg.verify = Verifier.Sanitize then
-           verify_plan st ~what:"switched plan" st.current
+           verify_plan st ~what:"switched plan" st.current;
+         progress_update st Progress.Switch
        end
        else emit st (Ev_rejected { t_new_total; t_improved }))
 
@@ -1270,7 +1301,8 @@ let decision_point st =
   if st.cfg.verify = Verifier.Sanitize then begin
     assert_filters_retired st ~what:"decision point";
     verify_plan st ~what:"remainder plan at decision point" st.current
-  end
+  end;
+  progress_update st Progress.Decision
 
 (* ------------------------------------------------------------------ *)
 (* Main loop.                                                          *)
@@ -1378,6 +1410,7 @@ let start ?prepared cfg query =
   (* refuse to execute a plan that fails static analysis *)
   verify_plan st ~what:"initial plan" plan0;
   List.iter (fun p -> emit st (Ev_sampled p)) probes;
+  progress_update st Progress.Start;
   { st; plan0; r_collectors = collectors; q_span; result = None;
     aborted = false }
 
@@ -1562,6 +1595,7 @@ let step_once r =
            collector_ms = st.collector_ms;
            verifications = st.verifications }
        in
+       progress_finish st;
        r.result <- Some report;
        Some report)
 

@@ -83,6 +83,15 @@ type config = {
           and simulated charges depend on each operator's plan [dop]
           annotation, never on the pool size ([None] runs workers
           inline) *)
+  progress : Mqr_obs.Progress.t option;
+      (** when set, the run records a progress/ETA sample into the
+          estimator at start, at every decision point, after every plan
+          switch and on completion, combining the remainder plan's Eq.1
+          cost estimate with its provable remaining-cost interval from
+          {!Mqr_analysis.Bounds}.  Like tracing, progress is pure
+          observation: it never charges the simulated clock, so a run
+          with progress attached has bit-identical elapsed time and
+          byte-identical rows *)
 }
 
 type event =

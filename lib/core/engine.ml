@@ -92,7 +92,7 @@ let truncate_label s =
 let scope_for t label =
   Option.map (fun tr -> Trace.scope tr ~label ()) t.trace
 
-let config ?trace t mode start_sampling =
+let config ?trace ?progress t mode start_sampling =
   { Dispatcher.catalog = t.catalog;
     model = t.model;
     pool_pages = t.pool_pages;
@@ -106,7 +106,8 @@ let config ?trace t mode start_sampling =
     temp_prefix = "";
     verify = t.verify;
     trace;
-    domain_pool = t.domain_pool }
+    domain_pool = t.domain_pool;
+    progress }
 
 let budget_pages t = t.budget_pages
 
@@ -114,7 +115,7 @@ let budget_pages t = t.budget_pages
    engine's settings, overriding the pieces they own (memory broker,
    statistics overlay, temp-table namespace). *)
 let dispatcher_config t ~mode ?probe_rows ?budget_pages ?broker ?env_overlay
-    ?(temp_prefix = "") ?verify ?trace () =
+    ?(temp_prefix = "") ?verify ?trace ?progress () =
   { (config t mode probe_rows) with
     Dispatcher.budget_pages =
       Option.value ~default:t.budget_pages budget_pages;
@@ -122,7 +123,8 @@ let dispatcher_config t ~mode ?probe_rows ?budget_pages ?broker ?env_overlay
     env_overlay;
     temp_prefix;
     verify = Option.value ~default:t.verify verify;
-    trace }
+    trace;
+    progress }
 
 let bind_sql t sql = Query.bind t.catalog (Parser.parse ~udfs:!(t.udfs) sql)
 
@@ -199,13 +201,15 @@ let delete_rows t ~table ~where =
   Catalog.note_updates t.catalog ~table deleted;
   deleted
 
-let run_query t ?(mode = Dispatcher.Full) ?probe_rows ?(label = "query") q =
-  Dispatcher.run (config ?trace:(scope_for t label) t mode probe_rows) q
+let run_query t ?(mode = Dispatcher.Full) ?probe_rows ?(label = "query")
+    ?progress q =
+  Dispatcher.run (config ?trace:(scope_for t label) ?progress t mode probe_rows)
+    q
 
-let run_sql t ?(mode = Dispatcher.Full) ?probe_rows sql =
+let run_sql t ?(mode = Dispatcher.Full) ?probe_rows ?progress sql =
   let label = truncate_label sql in
   match t.plan_cache with
-  | None -> run_query t ~mode ?probe_rows ~label (bind_sql t sql)
+  | None -> run_query t ~mode ?probe_rows ~label ?progress (bind_sql t sql)
   | Some cache ->
     (* plans are instrumented per mode, so the mode is part of the key *)
     let key = Dispatcher.mode_to_string mode ^ "|" ^ sql in
@@ -213,12 +217,13 @@ let run_sql t ?(mode = Dispatcher.Full) ?probe_rows sql =
      | Some entry ->
        Dispatcher.run
          ~prepared:(entry.Plan_cache.plan, entry.Plan_cache.collectors)
-         (config ?trace:(scope_for t label) t mode probe_rows)
+         (config ?trace:(scope_for t label) ?progress t mode probe_rows)
          entry.Plan_cache.query
      | None ->
        let q = bind_sql t sql in
        let report =
-         Dispatcher.run (config ?trace:(scope_for t label) t mode probe_rows) q
+         Dispatcher.run
+           (config ?trace:(scope_for t label) ?progress t mode probe_rows) q
        in
        Plan_cache.store cache t.catalog key
          ~plan:report.Dispatcher.initial_plan ~query:q

@@ -80,6 +80,7 @@ val dispatcher_config :
   ?temp_prefix:string ->
   ?verify:Mqr_analysis.Verifier.mode ->
   ?trace:Mqr_obs.Trace.scope ->
+  ?progress:Mqr_obs.Progress.t ->
   unit -> Dispatcher.config
 
 (** (hits, misses, entries) when the plan cache is enabled. *)
@@ -102,9 +103,12 @@ val register_udf :
 (** Parse, bind, optimize and execute under the given re-optimization mode
     (default [Full]).  [probe_rows] enables start-time selectivity sampling
     of uncertain predicates with that many probed rows per relation (the
-    hybrid strategy; see {!Sampling}). *)
+    hybrid strategy; see {!Sampling}).  [progress] attaches a progress/ETA
+    estimator the dispatcher updates at every decision point (pure
+    observation; zero simulated cost). *)
 val run_sql :
-  t -> ?mode:Dispatcher.mode -> ?probe_rows:int -> string -> Dispatcher.report
+  t -> ?mode:Dispatcher.mode -> ?probe_rows:int ->
+  ?progress:Mqr_obs.Progress.t -> string -> Dispatcher.report
 
 (** Statement-level entry point: SELECT returns a report, INSERT/DELETE
     return the affected-row count.  Update activity is tracked and makes
@@ -131,7 +135,7 @@ val analyze :
     scope when the engine was created with [?trace]. *)
 val run_query :
   t -> ?mode:Dispatcher.mode -> ?probe_rows:int -> ?label:string ->
-  Mqr_sql.Query.t -> Dispatcher.report
+  ?progress:Mqr_obs.Progress.t -> Mqr_sql.Query.t -> Dispatcher.report
 
 (** Parse and bind without executing. *)
 val bind_sql : t -> string -> Mqr_sql.Query.t

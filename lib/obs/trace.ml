@@ -372,9 +372,10 @@ let to_summary_json t =
           (fun (k, (s : Metrics.summary)) ->
              Printf.sprintf
                "\"%s\": {\"n\": %d, \"min\": %.3f, \"max\": %.3f, \"sum\": \
-                %.3f, \"buckets\": [%s]}"
+                %.3f, \"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f, \
+                \"buckets\": [%s]}"
                (escape k) s.Metrics.n s.Metrics.min s.Metrics.max
-               s.Metrics.sum
+               s.Metrics.sum s.Metrics.p50 s.Metrics.p95 s.Metrics.p99
                (String.concat ", "
                   (List.map
                      (fun (lo, hi, n) ->

@@ -43,6 +43,12 @@ type tenant_state = {
   mutable tn_shed : int;
   mutable tn_replans : int;
   mutable tn_violations : int;
+  mutable tn_deadline_miss : int;
+      (* statements that reached a terminal state without completing by
+         their deadline: late completions plus failed/cancelled/shed *)
+  mutable tn_min_headroom_ms : float;
+      (* worst (smallest) target - latency over completions; infinity
+         until the tenant completes something *)
   mutable tn_queue_ms : float;
   mutable tn_exec_ms : float;
 }
@@ -57,6 +63,7 @@ type t = {
   queue : Session.stmt Admission.t;
   mutable running : Session.stmt list;  (* admission order, oldest first *)
   mutable all : Session.stmt list;      (* submission order, newest first *)
+  mutable session_list : Session.t list; (* open order, newest first *)
   mutable next_stmt : int;
   mutable next_session : int;
   (* virtual clock: the latest point on the shared simulated timeline any
@@ -87,6 +94,7 @@ let create ?(options = default_options) ?trace engine =
       queue = Admission.create ~capacity:options.max_queue;
       running = [];
       all = [];
+      session_list = [];
       next_stmt = 0;
       next_session = 0;
       now_ms = 0.0;
@@ -129,6 +137,8 @@ let add_tenant ?weight ?target_ms t ~slo name =
       tn_shed = 0;
       tn_replans = 0;
       tn_violations = 0;
+      tn_deadline_miss = 0;
+      tn_min_headroom_ms = infinity;
       tn_queue_ms = 0.0;
       tn_exec_ms = 0.0 };
   (* fair-share floors are an SLO-aware mechanism; the round-robin
@@ -259,12 +269,16 @@ let start_stmt t (s : Session.stmt) ~now =
       t.cache
   in
   Broker.set_tenant_active t.broker tenant true;
+  (* per-statement progress estimator, fed by the dispatcher at every
+     decision point; pure observation, so it cannot perturb the run *)
+  let progress = Mqr_obs.Progress.create () in
+  s.Session.stmt_progress <- Some progress;
   match
     let query = Engine.bind_sql t.engine s.Session.stmt_sql in
     let cfg =
       Engine.dispatcher_config t.engine ~mode:s.Session.stmt_mode
         ~broker:broker_fn ?env_overlay
-        ~temp_prefix:s.Session.stmt_temp_prefix ?trace:scope ()
+        ~temp_prefix:s.Session.stmt_temp_prefix ?trace:scope ~progress ()
     in
     (query, Dispatcher.start cfg query)
   with
@@ -339,6 +353,23 @@ let retire t (s : Session.stmt) =
       Metrics.set_gauge m name
         (float_of_int (Broker.tenant_floor_waits t.broker s.Session.stmt_tenant)))
 
+(* A statement that reaches a terminal state without having completed by
+   its deadline is a deadline miss, whatever the terminal state was: a
+   late completion, a failure, a cancellation or a shed all mean the
+   client did not get its answer in time. *)
+let note_deadline_miss t tn =
+  tn.tn_deadline_miss <- tn.tn_deadline_miss + 1;
+  incr_metric t ~tenant:tn.tn_name ~what:"deadline_miss";
+  metric t "svc.%s.deadline_misses" tn.tn_name (fun m name ->
+      Metrics.set_gauge m name (float_of_int tn.tn_deadline_miss))
+
+let note_headroom t tn headroom =
+  if headroom < tn.tn_min_headroom_ms then begin
+    tn.tn_min_headroom_ms <- headroom;
+    metric t "svc.%s.slo_headroom_ms" tn.tn_name (fun m name ->
+        Metrics.set_gauge m name headroom)
+  end
+
 let complete_stmt t (s : Session.stmt) run (rep : Dispatcher.report) =
   let tn = tenant_state t s.Session.stmt_tenant in
   let elapsed = Dispatcher.run_elapsed_ms run in
@@ -356,8 +387,10 @@ let complete_stmt t (s : Session.stmt) run (rep : Dispatcher.report) =
   let latency = s.Session.stmt_finish_ms -. s.Session.stmt_arrival_ms in
   if latency > tn.tn_target_ms then begin
     tn.tn_violations <- tn.tn_violations + 1;
-    incr_metric t ~tenant:tn.tn_name ~what:"slo_violations"
+    incr_metric t ~tenant:tn.tn_name ~what:"slo_violations";
+    note_deadline_miss t tn
   end;
+  note_headroom t tn (tn.tn_target_ms -. latency);
   observe_metric t ~tenant:tn.tn_name ~what:"latency_ms" latency;
   retire t s;
   (match s.Session.stmt_query, t.cache with
@@ -372,6 +405,7 @@ let fail_stmt t (s : Session.stmt) msg =
   s.Session.stmt_status <- Session.Failed msg;
   s.Session.stmt_wall_finish <- wall t;
   tn.tn_failed <- tn.tn_failed + 1;
+  note_deadline_miss t tn;
   retire t s;
   try_admit t ~now:t.now_ms;
   regrant t
@@ -385,6 +419,7 @@ let cancel_stmt t (s : Session.stmt) =
       | None -> ());
      s.Session.stmt_status <- Session.Cancelled;
      tn.tn_cancelled <- tn.tn_cancelled + 1;
+     note_deadline_miss t tn;
      retire t s;
      try_admit t ~now:t.now_ms;
      regrant t
@@ -392,6 +427,7 @@ let cancel_stmt t (s : Session.stmt) =
      (* stays in the admission queue; purged before the next admission *)
      s.Session.stmt_status <- Session.Cancelled;
      tn.tn_cancelled <- tn.tn_cancelled + 1;
+     note_deadline_miss t tn;
      update_pending t;
      refresh_activity t s.Session.stmt_tenant
    | _ -> ())
@@ -416,6 +452,7 @@ let submit_stmt t (s : Session.stmt) =
       s.Session.stmt_status <- Session.Shed;
       tn.tn_shed <- tn.tn_shed + 1;
       incr_metric t ~tenant:tn.tn_name ~what:"shed";
+      note_deadline_miss t tn;
       refresh_activity t s.Session.stmt_tenant
     end
   end
@@ -433,7 +470,12 @@ let open_session t ~tenant =
       h_submit = (fun s -> submit_stmt t s);
       h_cancel = (fun s -> cancel_stmt t s) }
   in
-  Session.create ~hooks ~id ~tenant ~slo:tn.tn_slo ~target_ms:tn.tn_target_ms
+  let session =
+    Session.create ~hooks ~id ~tenant ~slo:tn.tn_slo
+      ~target_ms:tn.tn_target_ms
+  in
+  t.session_list <- session :: t.session_list;
+  session
 
 (* --- the scheduler loop ------------------------------------------------ *)
 
@@ -496,6 +538,16 @@ let rec drain t = if step t then drain t else ()
 
 let idle t = t.running = [] && queued_count t = 0
 
+(* --- introspection (the monitor's raw material) ------------------------ *)
+
+let sessions t = List.rev t.session_list
+let all_statements t = List.rev t.all
+let running_statements t = t.running
+let now_ms t = t.now_ms
+let service_trace t = t.trace
+let options t = t.options
+let tenant_target_ms t name = (tenant_state t name).tn_target_ms
+
 (* --- reporting --------------------------------------------------------- *)
 
 type class_stats = {
@@ -511,6 +563,7 @@ type tenant_summary = {
   tns_tenant : string;
   tns_slo : Session.slo;
   tns_weight : int;
+  tns_target_ms : float;
   tns_submitted : int;
   tns_completed : int;
   tns_failed : int;
@@ -518,6 +571,8 @@ type tenant_summary = {
   tns_shed : int;
   tns_replans : int;
   tns_violations : int;
+  tns_deadline_miss : int;
+  tns_min_headroom_ms : float;
   tns_queue_ms : float;
   tns_exec_ms : float;
   tns_peak_leased : int;
@@ -594,6 +649,7 @@ let report t =
          { tns_tenant = name;
            tns_slo = tn.tn_slo;
            tns_weight = tn.tn_weight;
+           tns_target_ms = tn.tn_target_ms;
            tns_submitted = tn.tn_submitted;
            tns_completed = tn.tn_completed;
            tns_failed = tn.tn_failed;
@@ -601,6 +657,8 @@ let report t =
            tns_shed = tn.tn_shed;
            tns_replans = tn.tn_replans;
            tns_violations = tn.tn_violations;
+           tns_deadline_miss = tn.tn_deadline_miss;
+           tns_min_headroom_ms = tn.tn_min_headroom_ms;
            tns_queue_ms = tn.tn_queue_ms;
            tns_exec_ms = tn.tn_exec_ms;
            tns_peak_leased = Broker.tenant_peak t.broker name;
@@ -638,12 +696,16 @@ let pp_report fmt (r : report) =
     (fun tn ->
        Fmt.pf fmt
          "  tenant %-10s [%s w=%d] %d/%d done  %d failed  %d cancelled  %d \
-          shed  queue %.1f ms  exec %.1f ms  replans %d  peak %d pages@,"
+          shed  queue %.1f ms  exec %.1f ms  replans %d  peak %d pages  \
+          misses %d%s@,"
          tn.tns_tenant
          (Session.slo_to_string tn.tns_slo)
          tn.tns_weight tn.tns_completed tn.tns_submitted tn.tns_failed
          tn.tns_cancelled tn.tns_shed tn.tns_queue_ms tn.tns_exec_ms
-         tn.tns_replans tn.tns_peak_leased)
+         tn.tns_replans tn.tns_peak_leased tn.tns_deadline_miss
+         (if Float.is_finite tn.tns_min_headroom_ms then
+            Printf.sprintf "  headroom %.1f ms" tn.tns_min_headroom_ms
+          else ""))
     r.tenants;
   Fmt.pf fmt "  peak leased %d pages  outstanding %d  stats %d/%d@]"
     r.peak_leased_pages r.outstanding_leases r.stats_published r.stats_applied

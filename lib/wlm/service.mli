@@ -85,6 +85,36 @@ val idle : t -> bool
     tenant's in-flight runs — 0 whenever observed between steps. *)
 val tenant_pages_in_flight : t -> string -> int
 
+(** {2 Introspection}
+
+    Read-only views of the live scheduler state, the raw material of
+    {!Monitor}.  All of them are pure observation: calling them never
+    advances the virtual clock or perturbs scheduling. *)
+
+(** Every session ever opened, in open order. *)
+val sessions : t -> Session.t list
+
+(** Every statement ever submitted, in submission order. *)
+val all_statements : t -> Session.stmt list
+
+(** In-flight statements, admission order. *)
+val running_statements : t -> Session.stmt list
+
+(** Statements waiting for admission. *)
+val queued_count : t -> int
+
+(** The latest point on the shared simulated timeline any statement has
+    reached. *)
+val now_ms : t -> float
+
+(** The trace the service was created with, if any. *)
+val service_trace : t -> Mqr_obs.Trace.t option
+
+val options : t -> options
+
+(** A registered tenant's SLO target; raises for unknown tenants. *)
+val tenant_target_ms : t -> string -> float
+
 (** {2 Reporting} *)
 
 type class_stats = {
@@ -100,6 +130,7 @@ type tenant_summary = {
   tns_tenant : string;
   tns_slo : Session.slo;
   tns_weight : int;
+  tns_target_ms : float;
   tns_submitted : int;
   tns_completed : int;
   tns_failed : int;
@@ -107,6 +138,16 @@ type tenant_summary = {
   tns_shed : int;
   tns_replans : int;        (** mid-query plan switches, summed *)
   tns_violations : int;
+  tns_deadline_miss : int;
+      (** terminal statements that did not complete by their deadline:
+          late completions + failed + cancelled + shed.  Also exported as
+          the [svc.<tenant>.deadline_miss] counter and
+          [svc.<tenant>.deadline_misses] gauge *)
+  tns_min_headroom_ms : float;
+      (** worst (smallest) [target - latency] over completions — negative
+          once an SLO was missed; [infinity] until the tenant completes a
+          statement.  Also exported as the [svc.<tenant>.slo_headroom_ms]
+          gauge *)
   tns_queue_ms : float;
   tns_exec_ms : float;
   tns_peak_leased : int;

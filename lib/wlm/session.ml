@@ -37,6 +37,7 @@ type stmt = {
   mutable stmt_status : status;
   mutable stmt_query : Query.t option;
   mutable stmt_run : Dispatcher.run option;
+  mutable stmt_progress : Mqr_obs.Progress.t option;
   mutable stmt_admit_ms : float;
   mutable stmt_finish_ms : float;
   mutable stmt_wall_submit : float;
@@ -108,6 +109,7 @@ let submit ?(label = "") ?(mode = Dispatcher.Full) ?(arrival_ms = 0.0) t sql =
       stmt_status = Queued;
       stmt_query = None;
       stmt_run = None;
+      stmt_progress = None;
       stmt_admit_ms = 0.0;
       stmt_finish_ms = 0.0;
       stmt_wall_submit = 0.0;

@@ -45,6 +45,9 @@ type stmt = {
   mutable stmt_status : status;
   mutable stmt_query : Mqr_sql.Query.t option;
   mutable stmt_run : Mqr_core.Dispatcher.run option;
+  mutable stmt_progress : Mqr_obs.Progress.t option;
+      (** per-statement progress/ETA estimator, attached by the service at
+          submission and fed by the dispatcher at every decision point *)
   mutable stmt_admit_ms : float;
   mutable stmt_finish_ms : float;
   mutable stmt_wall_submit : float;

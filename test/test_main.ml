@@ -25,4 +25,6 @@ let () =
       ("rf", Test_rf.suite);
       ("verify", Test_verify.suite);
       ("bounds", Test_bounds.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("progress", Test_progress.suite);
+      ("monitor", Test_monitor.suite) ]

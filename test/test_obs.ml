@@ -291,6 +291,86 @@ let contains hay needle =
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
   nn = 0 || go 0
 
+(* --- bounded series memory + quantiles + Prometheus export --- *)
+
+let test_metrics_bounded_reservoir () =
+  let m = Metrics.create () in
+  for i = 1 to 100_000 do
+    Metrics.observe m "ms" (float_of_int i)
+  done;
+  match Metrics.histograms m with
+  | [ ("ms", s) ] ->
+    (* exact streaming stats survive reservoir replacement... *)
+    Alcotest.(check int) "n is the exact stream count" 100_000 s.Metrics.n;
+    Alcotest.(check (float 1e-9)) "min exact" 1.0 s.Metrics.min;
+    Alcotest.(check (float 1e-9)) "max exact" 100_000.0 s.Metrics.max;
+    Alcotest.(check (float 1e-3)) "sum exact" 5_000_050_000.0 s.Metrics.sum;
+    (* ...while the buckets come from a bounded sample *)
+    let binned =
+      List.fold_left (fun acc (_, _, c) -> acc + c) 0 s.Metrics.buckets
+    in
+    Alcotest.(check bool) "buckets bounded by the reservoir" true
+      (binned <= 512);
+    List.iter
+      (fun (what, q) ->
+         Alcotest.(check bool) (what ^ " within observed range") true
+           (s.Metrics.min <= q && q <= s.Metrics.max))
+      [ ("p50", s.Metrics.p50); ("p95", s.Metrics.p95);
+        ("p99", s.Metrics.p99) ];
+    Alcotest.(check bool) "quantiles ordered" true
+      (s.Metrics.p50 <= s.Metrics.p95 && s.Metrics.p95 <= s.Metrics.p99)
+  | hs -> Alcotest.failf "expected one series, got %d" (List.length hs)
+
+let test_metrics_quantiles_exact_when_small () =
+  let m = Metrics.create () in
+  (* fewer samples than the reservoir capacity: nearest-rank is exact *)
+  List.iter (Metrics.observe m "lat") [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  match Metrics.histograms m with
+  | [ ("lat", s) ] ->
+    Alcotest.(check (float 1e-9)) "p50 nearest-rank" 3.0 s.Metrics.p50;
+    Alcotest.(check (float 1e-9)) "p95 nearest-rank" 5.0 s.Metrics.p95;
+    Alcotest.(check (float 1e-9)) "p99 nearest-rank" 5.0 s.Metrics.p99
+  | _ -> Alcotest.fail "expected one series"
+
+let test_metrics_deterministic_reservoir () =
+  let fill () =
+    let m = Metrics.create () in
+    for i = 1 to 10_000 do
+      Metrics.observe m "ms" (float_of_int (i * 7 mod 997))
+    done;
+    m
+  in
+  (* name-seeded rng: two registries fed identically agree exactly *)
+  Alcotest.(check string) "exports byte-identical"
+    (Metrics.to_prometheus (fill ()))
+    (Metrics.to_prometheus (fill ()))
+
+let test_prometheus_exposition () =
+  let m = Metrics.create () in
+  Metrics.incr m ~by:3 "reopt.switches";
+  Metrics.set_gauge m "svc.web.slo_headroom_ms" 1502.5;
+  List.iter (Metrics.observe m "unit ms") [ 1.0; 2.0; 4.0; 8.0 ];
+  let text = Metrics.to_prometheus m in
+  List.iter
+    (fun frag ->
+       Alcotest.(check bool) ("exposition contains " ^ frag) true
+         (contains text frag))
+    [ "# TYPE mqr_reopt_switches counter"; "mqr_reopt_switches 3";
+      "# TYPE mqr_svc_web_slo_headroom_ms gauge";
+      "mqr_svc_web_slo_headroom_ms 1502.5";
+      "# TYPE mqr_unit_ms histogram"; "mqr_unit_ms_bucket{le=\"+Inf\"} 4";
+      "mqr_unit_ms_sum 15"; "mqr_unit_ms_count 4" ];
+  (* families sorted by mangled name *)
+  let type_lines =
+    String.split_on_char '\n' text
+    |> List.filter_map (fun l ->
+      if String.length l > 7 && String.sub l 0 7 = "# TYPE " then
+        Some (List.nth (String.split_on_char ' ' l) 2)
+      else None)
+  in
+  Alcotest.(check (list string)) "families sorted"
+    (List.sort String.compare type_lines) type_lines
+
 let test_chrome_export_shape () =
   let tr = Trace.create () in
   let e = engine ~trace:tr () in
@@ -348,6 +428,14 @@ let suite =
       test_metrics_counters_and_gauges;
     Alcotest.test_case "metrics log-scale histogram" `Quick
       test_metrics_log_histogram;
+    Alcotest.test_case "metrics reservoir bounded" `Quick
+      test_metrics_bounded_reservoir;
+    Alcotest.test_case "metrics quantiles exact when small" `Quick
+      test_metrics_quantiles_exact_when_small;
+    Alcotest.test_case "metrics reservoir deterministic" `Quick
+      test_metrics_deterministic_reservoir;
+    Alcotest.test_case "prometheus exposition shape" `Quick
+      test_prometheus_exposition;
     Alcotest.test_case "span stack discipline" `Quick
       test_span_stack_discipline;
     Alcotest.test_case "single query spans" `Quick test_single_query_spans;
